@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper.  Each test prints its table (visible with ``pytest -s`` /
+captured on failure), writes it to ``benchmarks/results/``, stores the
+numbers in ``benchmark.extra_info`` and asserts the paper's qualitative
+shape.
+
+Benchmarks run at a reduced scale by default (GPU memory and workload
+bytes shrunk by the same factor, preserving every ratio).  Set
+``REPRO_BENCH_SCALE=1`` for the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale(default: float) -> float:
+    """The scale factor benches run at (env override: REPRO_BENCH_SCALE)."""
+    value = os.environ.get("REPRO_BENCH_SCALE")
+    if value is None:
+        return default
+    return float(value)
+
+
+@pytest.fixture
+def save_table():
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic, so repeated rounds only measure
+    interpreter noise; one round keeps the suite fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

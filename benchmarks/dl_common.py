@@ -1,0 +1,96 @@
+"""Shared deep-learning sweep driver for the Figure 3/5/6/7 benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from conftest import bench_scale
+
+from repro.cuda.device import rtx_3080ti
+from repro.errors import OutOfMemoryError
+from repro.harness.results import ExperimentResult
+from repro.harness.systems import System
+from repro.interconnect.link import Link
+from repro.workloads.dl import (
+    DarknetTrainer,
+    TrainerConfig,
+    darknet19,
+    resnet53,
+    rnn_shakespeare,
+    vgg16,
+)
+
+#: Per-network batch-size grids spanning the §7.5 capacity crossover.
+BATCH_GRID: Dict[str, Tuple[int, ...]] = {
+    "VGG-16": (50, 75, 100, 125, 150),
+    "Darknet-19": (86, 171, 260, 360),
+    "ResNet-53": (28, 56, 100, 150),
+    "RNN": (75, 150, 225, 300),
+}
+
+NETWORK_FACTORIES = {
+    "VGG-16": vgg16,
+    "Darknet-19": darknet19,
+    "ResNet-53": resnet53,
+    "RNN": rnn_shakespeare,
+}
+
+DL_SYSTEMS = (
+    System.NO_UVM,
+    System.UVM_OPT,
+    System.UVM_DISCARD,
+    System.UVM_DISCARD_LAZY,
+)
+
+
+def dl_sweep(
+    link_factory: Callable[[], Link],
+    systems: Iterable[System],
+    networks: Iterable[str] = tuple(BATCH_GRID),
+    default_scale: float = 0.125,
+) -> Dict[str, Dict[str, List[ExperimentResult]]]:
+    """Train every (network, batch, system) cell; OOM rows become None.
+
+    Returns ``{network: {system_name: [result-or-None per batch]}}``.
+    """
+    scale = bench_scale(default_scale)
+    gpu = rtx_3080ti().scaled(scale)
+    sweep: Dict[str, Dict[str, List[ExperimentResult]]] = {}
+    for name in networks:
+        network = NETWORK_FACTORIES[name]().scaled(scale)
+        per_system: Dict[str, List[ExperimentResult]] = {}
+        for system in systems:
+            rows: List[ExperimentResult] = []
+            for batch_size in BATCH_GRID[name]:
+                trainer = DarknetTrainer(
+                    network, TrainerConfig(batch_size=batch_size), system
+                )
+                try:
+                    rows.append(trainer.run(gpu, link_factory()))
+                except OutOfMemoryError:
+                    rows.append(None)
+            per_system[system.value] = rows
+        sweep[name] = per_system
+    return sweep
+
+
+def render_sweep(
+    title: str,
+    sweep: Dict[str, Dict[str, List[ExperimentResult]]],
+    value: Callable[[ExperimentResult], float],
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render one metric of a sweep as per-network text tables."""
+    lines = [title]
+    for name, per_system in sweep.items():
+        lines.append("")
+        lines.append(
+            f"{name:<18}" + "".join(f"{b:>10}" for b in BATCH_GRID[name])
+        )
+        for system, rows in per_system.items():
+            cells = [
+                f"{fmt.format(value(r)) if r is not None else 'OOM':>10}"
+                for r in rows
+            ]
+            lines.append(f"{system:<18}" + "".join(cells))
+    return "\n".join(lines)

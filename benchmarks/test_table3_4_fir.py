@@ -1,0 +1,82 @@
+"""Tables 3 and 4: FIR normalized runtime (PCIe-3/4) and PCIe traffic.
+
+Paper shape asserted: the discard variants eliminate an (almost)
+constant amount of eviction traffic at every oversubscription ratio,
+roughly halving runtime at 200 % and winning less as the baseline's
+useful-output eviction traffic grows; at <100 % they cost nothing
+measurable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import bench_scale, run_once
+
+from repro.cuda.device import rtx_3080ti
+from repro.harness.results import ResultTable
+from repro.harness.runner import ratio_label
+from repro.harness.systems import System
+from repro.interconnect import pcie_gen3, pcie_gen4
+from repro.workloads.fir import FirConfig, FirWorkload
+
+RATIOS = (0.99, 2.0, 3.0, 4.0)
+SYSTEMS = (System.UVM_OPT, System.UVM_DISCARD, System.UVM_DISCARD_LAZY)
+
+
+def run_fir(link_factory):
+    scale = bench_scale(0.25)
+    workload = FirWorkload(FirConfig().scaled(scale))
+    gpu = rtx_3080ti().scaled(scale)
+    table = ResultTable("FIR", [ratio_label(r) for r in RATIOS])
+    for ratio in RATIOS:
+        for system in SYSTEMS:
+            table.add(workload.run(system, ratio, gpu, link_factory()))
+    return table
+
+
+@pytest.mark.parametrize(
+    "link_name,link_factory", [("PCIe-3", pcie_gen3), ("PCIe-4", pcie_gen4)]
+)
+def test_table3_4_fir(benchmark, save_table, link_name, link_factory):
+    table = run_once(benchmark, lambda: run_fir(link_factory))
+
+    runtime_text = table.render(
+        "normalized_runtime", baseline=System.UVM_OPT.value
+    )
+    traffic_text = table.render("traffic_gb")
+    save_table(
+        f"table3_4_fir_{link_name.lower()}",
+        f"Table 3 (FIR normalized runtime, {link_name})\n{runtime_text}\n\n"
+        f"Table 4 (FIR PCIe traffic GB, {link_name})\n{traffic_text}",
+    )
+
+    opt = System.UVM_OPT.value
+    for system in (System.UVM_DISCARD, System.UVM_DISCARD_LAZY):
+        name = system.value
+        # <100%: discard is free (paper: 1 / 1.01).
+        assert table.normalized_runtime(name, "<100%", opt) < 1.05
+        # 200%: a substantial win (paper: ~0.51).
+        assert table.normalized_runtime(name, "200%", opt) < 0.75
+        # The win shrinks as useful-output evictions grow (0.51→0.71).
+        assert (
+            table.normalized_runtime(name, "200%", opt)
+            < table.normalized_runtime(name, "400%", opt)
+            < 1.0
+        )
+        # Traffic: a near-constant saving at every oversubscribed ratio
+        # (paper: 5.56 GB at 200/300/400%).
+        savings = [
+            table.get(opt, c).traffic_gb - table.get(name, c).traffic_gb
+            for c in ("200%", "300%", "400%")
+        ]
+        assert max(savings) - min(savings) < 0.25 * max(savings)
+    # Baseline traffic roughly doubles at 200% vs <100% (5.66 → 11.44).
+    assert (
+        1.7
+        < table.get(opt, "200%").traffic_gb / table.get(opt, "<100%").traffic_gb
+        < 2.3
+    )
+    benchmark.extra_info["traffic_gb"] = {
+        s.value: [table.get(s.value, ratio_label(r)).traffic_gb for r in RATIOS]
+        for s in SYSTEMS
+    }

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Deep learning training with GPU memory oversubscription (§7.5).
+
+Trains the paper's VGG-16 on a simulated RTX 3080 Ti (scaled 1/8 for a
+fast demo) at batch sizes below and above the GPU's capacity, comparing:
+
+- No-UVM (Listing 4) — crashes once the footprint exceeds device memory,
+- UVM-opt — survives oversubscription but pays redundant transfers,
+- UvmDiscard / UvmDiscardLazy — Listing 6's discard directives.
+
+Expected output shape (the paper's Figure 6a): everyone is equal while
+the model fits; past the capacity crossover No-UVM disappears and the
+discard systems sustain clearly higher throughput than plain UVM.
+
+Run:  python examples/deep_learning.py
+"""
+
+from __future__ import annotations
+
+from repro.cuda.device import rtx_3080ti
+from repro.errors import OutOfMemoryError
+from repro.harness.systems import System
+from repro.interconnect import pcie_gen4
+from repro.workloads.dl import DarknetTrainer, TrainerConfig, vgg16
+
+SCALE = 1 / 8
+BATCH_SIZES = (50, 75, 100, 125, 150)
+SYSTEMS = (
+    System.NO_UVM,
+    System.UVM_OPT,
+    System.UVM_DISCARD,
+    System.UVM_DISCARD_LAZY,
+)
+
+
+def main() -> None:
+    network = vgg16().scaled(SCALE)
+    gpu = rtx_3080ti().scaled(SCALE)
+    print(f"GPU memory: {gpu.memory_bytes / 1e9:.2f} GB (1/8-scale 3080 Ti)\n")
+    header = f"{'batch':>6} {'footprint':>10}" + "".join(
+        f"{s.value:>16}" for s in SYSTEMS
+    )
+    print(header + "   (images/second)")
+    for batch_size in BATCH_SIZES:
+        network_footprint = network.total_bytes(batch_size)
+        cells = [f"{batch_size:>6} {network_footprint / 1e9:>9.2f}G"]
+        for system in SYSTEMS:
+            trainer = DarknetTrainer(
+                network, TrainerConfig(batch_size=batch_size), system
+            )
+            try:
+                result = trainer.run(gpu, pcie_gen4())
+                cells.append(f"{result.metric:>16.1f}")
+            except OutOfMemoryError:
+                cells.append(f"{'OOM':>16}")
+        print("".join(cells))
+    print(
+        "\nNo-UVM dies at the capacity crossover; UVM survives; discard"
+        "\nrecovers most of the lost throughput by eliminating redundant"
+        "\ntransfers of dead activations (paper: +61% on ResNet-53)."
+    )
+
+
+if __name__ == "__main__":
+    main()

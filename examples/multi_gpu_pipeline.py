@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Multi-GPU pipelines, peer links and discard (§2.3 extension).
+
+A producer kernel on gpu0 hands a payload buffer to a consumer kernel on
+gpu1 every stage; the unified address space makes the hand-off automatic
+(the consumer's faults pull the pages over).  Two knobs change the cost
+dramatically:
+
+- a **P2P link** (NVLink) moves the payload in one D2D hop instead of
+  bouncing through host memory over PCIe twice;
+- **discard** keeps the producer's dead scratch data from ever being
+  migrated at all.
+
+Run:  python examples/multi_gpu_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import AccessMode, BufferAccess, CudaRuntime, GpuSpec, KernelSpec
+from repro.interconnect import nvlink_gen3
+from repro.units import GB, MIB
+
+STAGES = 6
+PAYLOAD = 32 * MIB
+
+
+def gpu(name: str) -> GpuSpec:
+    return GpuSpec(
+        name=name,
+        memory_bytes=128 * MIB,
+        effective_flops=2e12,
+        local_bandwidth=900 * GB,
+        zero_bandwidth=500 * GB,
+        model="demo GPU",
+    )
+
+
+def run(p2p: bool, discard: bool) -> CudaRuntime:
+    runtime = CudaRuntime(
+        gpus=[gpu("gpu0"), gpu("gpu1")],
+        p2p_link=nvlink_gen3() if p2p else None,
+    )
+    payload = runtime.malloc_managed(PAYLOAD, "payload")
+    scratch = runtime.malloc_managed(PAYLOAD, "scratch")
+
+    def program(cuda):
+        for stage in range(STAGES):
+            cuda.launch(
+                KernelSpec(
+                    f"produce_{stage}",
+                    [
+                        BufferAccess(scratch, AccessMode.WRITE),
+                        BufferAccess(payload, AccessMode.WRITE),
+                    ],
+                    flops=1e8,
+                ),
+                device="gpu0",
+            )
+            if discard:
+                cuda.discard_async(scratch, mode="eager")
+            cuda.launch(
+                KernelSpec(
+                    f"consume_{stage}",
+                    [BufferAccess(payload, AccessMode.READ)],
+                    flops=1e8,
+                ),
+                device="gpu1",
+            )
+            if discard:
+                cuda.discard_async(payload, mode="eager")
+            yield from cuda.synchronize()
+
+    runtime.run(program)
+    return runtime
+
+
+def main() -> None:
+    print(f"{STAGES} hand-offs of a {PAYLOAD // MIB} MiB payload, gpu0 -> gpu1\n")
+    print(f"{'p2p link':>9} {'discard':>8} {'elapsed':>10} {'h2d':>8} {'d2h':>8} {'d2d':>8}")
+    for p2p in (False, True):
+        for discard in (False, True):
+            runtime = run(p2p, discard)
+            traffic = runtime.driver.traffic
+            print(
+                f"{'NVLink' if p2p else 'none':>9} {str(discard):>8} "
+                f"{runtime.elapsed * 1e3:>8.2f}ms "
+                f"{traffic.bytes_h2d / 1e6:>6.0f}MB "
+                f"{traffic.bytes_d2h / 1e6:>6.0f}MB "
+                f"{traffic.bytes_d2d / 1e6:>6.0f}MB"
+            )
+    print(
+        "\nWithout P2P the payload crosses PCIe twice per stage; discard"
+        "\nkeeps the dead scratch buffer out of the migration machinery"
+        "\nentirely — the §2.3 point that coherent, multi-GPU systems still"
+        "\nwant a discard directive."
+    )
+
+
+if __name__ == "__main__":
+    main()

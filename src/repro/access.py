@@ -1,0 +1,30 @@
+"""Memory access modes shared by the driver, executor and kernel specs.
+
+The RMT classifier's entire job reduces to knowing, for each touched
+va_block, whether the program *reads* its prior contents or fully
+*overwrites* them (§3.1: "when a buffer is transferred but then
+overwritten before being read, that transfer was redundant").
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessMode(enum.Enum):
+    """How a kernel or host routine uses a buffer's existing contents."""
+
+    #: Prior contents are consumed.
+    READ = "read"
+    #: Prior contents are fully overwritten without being read.
+    WRITE = "write"
+    #: Prior contents are both read and updated (read-modify-write).
+    READWRITE = "readwrite"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READWRITE)

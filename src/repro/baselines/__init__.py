@@ -1,0 +1,23 @@
+"""Baselines the paper compares against.
+
+- :mod:`~repro.baselines.caching_allocator` — a PyTorch-style caching
+  device allocator, built to "avoid costly allocation and deallocation
+  API calls" (§6, costs in Table 2).
+- :mod:`~repro.baselines.lms` — the PyTorch Large-Model-Support
+  baseline of Table 1: manual swapping of activations plus the caching
+  allocator (the approach costing 1,806 + 2,509 lines of code in real
+  PyTorch, per §6).
+- :mod:`~repro.baselines.manual_swap` — Listing 5: per-use explicit
+  allocate/transfer/free without caching, paying Table-2 API costs on
+  every layer.
+
+The No-UVM baseline (Listing 4) lives in the trainer itself
+(:class:`~repro.workloads.dl.trainer.DarknetTrainer` with
+``System.NO_UVM``).
+"""
+
+from repro.baselines.caching_allocator import CachingAllocator
+from repro.baselines.lms import LmsTrainer
+from repro.baselines.manual_swap import ManualSwapTrainer
+
+__all__ = ["CachingAllocator", "LmsTrainer", "ManualSwapTrainer"]

@@ -1,0 +1,72 @@
+"""PyTorch-style caching device allocator.
+
+`cudaMalloc`/`cudaFree` are expensive (Table 2: up to ~1 ms each at
+128 MB), so frameworks cache freed device buffers by size class and reuse
+them.  §6: "PyTorch augments that approach with a manual caching
+mechanism to avoid costly allocation and deallocation API calls" —
+costing 1,806 lines of real code; this is the simulated equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.cuda.memory import DeviceBuffer
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.units import BIG_PAGE, align_up
+
+
+class CachingAllocator:
+    """Caches device buffers by 2 MiB-rounded size class."""
+
+    def __init__(self, cuda: CudaRuntime) -> None:
+        self.cuda = cuda
+        self._free_lists: Dict[int, List[DeviceBuffer]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def size_class(nbytes: int) -> int:
+        """Allocation granularity: whole 2 MiB chunks, like the device."""
+        return align_up(max(1, nbytes), BIG_PAGE)
+
+    def alloc(self, nbytes: int, name: Optional[str] = None) -> Generator:
+        """Obtain a device buffer; reuses a cached one when possible.
+
+        A cache hit costs nothing; a miss pays the full `cudaMalloc`
+        price.  When the device is full, the allocator behaves like
+        PyTorch's: it releases its whole cache and retries once before
+        letting :class:`~repro.errors.OutOfMemoryError` propagate.
+        Returns the buffer via the process return value.
+        """
+        cls = self.size_class(nbytes)
+        free_list = self._free_lists.get(cls)
+        if free_list:
+            self.hits += 1
+            return free_list.pop()
+        self.misses += 1
+        try:
+            buffer = yield from self.cuda.malloc_device(cls, name)
+        except OutOfMemoryError:
+            yield from self.release_all()
+            buffer = yield from self.cuda.malloc_device(cls, name)
+        return buffer
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        """Return a buffer to the cache (no `cudaFree` cost)."""
+        if buffer.freed:
+            raise SimulationError(f"caching-free of freed buffer {buffer.name!r}")
+        self._free_lists.setdefault(buffer.nbytes, []).append(buffer)
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(
+            buf.nbytes for bufs in self._free_lists.values() for buf in bufs
+        )
+
+    def release_all(self) -> Generator:
+        """`cudaFree` everything cached (end-of-run cleanup)."""
+        for free_list in self._free_lists.values():
+            while free_list:
+                yield from self.cuda.free_device(free_list.pop())

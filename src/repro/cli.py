@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — enumerate the reproducible experiments,
+- ``run <experiment>`` — run one experiment and print its paper-style
+  table (``--scale``, ``--link``, ``--csv`` options),
+- ``demo`` — the VectorAdd quickstart with verified results.
+
+The heavyweight regeneration of *every* table and figure lives in
+``pytest benchmarks/ --benchmark-only``; the CLI is the fast,
+exploratory front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cuda.device import rtx_3080ti
+from repro.harness.results import ExperimentResult, ResultTable
+from repro.harness.runner import ratio_label
+from repro.harness.systems import System
+from repro.instrument.report import results_to_csv
+from repro.interconnect import pcie_gen3, pcie_gen4
+from repro.workloads.dl import (
+    DarknetTrainer,
+    TrainerConfig,
+    darknet19,
+    resnet53,
+    rnn_shakespeare,
+    vgg16,
+)
+from repro.workloads.fir import FirConfig, FirWorkload
+from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
+from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
+
+RATIOS = (0.99, 2.0, 3.0, 4.0)
+MICRO_SYSTEMS = (System.UVM_OPT, System.UVM_DISCARD, System.UVM_DISCARD_LAZY)
+DL_NETWORKS = {
+    "vgg16": (vgg16, (50, 75, 100, 125, 150)),
+    "darknet19": (darknet19, (86, 171, 260, 360)),
+    "resnet53": (resnet53, (28, 56, 100, 150)),
+    "rnn": (rnn_shakespeare, (75, 150, 225, 300)),
+}
+
+EXPERIMENTS = {
+    "fir": "FIR sliding-window filter (Tables 3/4)",
+    "radix": "Radix-sort with irregular access (Tables 5/6)",
+    "hashjoin": "GPU database hash-join (Tables 7/8)",
+    "dl:vgg16": "VGG-16 training sweep (Figures 5/6/7)",
+    "dl:darknet19": "Darknet-19 training sweep (Figures 5/6/7)",
+    "dl:resnet53": "ResNet-53 training sweep (Figures 3/5/6/7)",
+    "dl:rnn": "Character-RNN training sweep (Figures 5/6/7)",
+}
+
+
+def _link_factory(name: str) -> Callable:
+    if name == "gen3":
+        return pcie_gen3
+    if name == "gen4":
+        return pcie_gen4
+    raise SystemExit(f"unknown link {name!r}; expected gen3 or gen4")
+
+
+def _run_micro(
+    kind: str, scale: float, link_name: str
+) -> List[ExperimentResult]:
+    workloads = {
+        "fir": lambda: FirWorkload(FirConfig().scaled(scale)),
+        "radix": lambda: RadixSortWorkload(RadixSortConfig().scaled(scale)),
+        "hashjoin": lambda: HashJoinWorkload(HashJoinConfig().scaled(scale)),
+    }
+    workload = workloads[kind]()
+    gpu = rtx_3080ti().scaled(scale)
+    link = _link_factory(link_name)
+    results = []
+    table = ResultTable(kind, [ratio_label(r) for r in RATIOS])
+    for ratio in RATIOS:
+        for system in MICRO_SYSTEMS:
+            result = workload.run(system, ratio, gpu, link())
+            table.add(result)
+            results.append(result)
+    print(table.render("normalized_runtime", baseline=System.UVM_OPT.value))
+    print()
+    print(table.render("traffic_gb"))
+    return results
+
+
+def _run_dl(network: str, scale: float, link_name: str) -> List[ExperimentResult]:
+    factory, batches = DL_NETWORKS[network]
+    spec = factory().scaled(scale)
+    gpu = rtx_3080ti().scaled(scale)
+    link = _link_factory(link_name)
+    results = []
+    table = ResultTable(spec.name, [str(b) for b in batches])
+    for batch in batches:
+        for system in MICRO_SYSTEMS:
+            trainer = DarknetTrainer(spec, TrainerConfig(batch_size=batch), system)
+            result = trainer.run(gpu, link(), config_label=str(batch))
+            table.add(result)
+            results.append(result)
+    print(table.render("metric", fmt="{:.1f}"))
+    print()
+    print(table.render("traffic_gb"))
+    return results
+
+
+def cmd_list(_args) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, description in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    name = args.experiment
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    if name.startswith("dl:"):
+        results = _run_dl(name.split(":", 1)[1], args.scale, args.link)
+    else:
+        results = _run_micro(name, args.scale, args.link)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(results_to_csv(results))
+        print(f"\nwrote {len(results)} rows to {args.csv}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """Run every experiment at a fast scale; write one markdown report."""
+    from repro.instrument.report import results_to_markdown, speedup_summary
+
+    sections = []
+    for name in EXPERIMENTS:
+        print(f"== {name}")
+        if name.startswith("dl:"):
+            results = _run_dl(name.split(":", 1)[1], args.scale, args.link)
+        else:
+            results = _run_micro(name, args.scale, args.link)
+        sections.append(
+            results_to_markdown(results, title=f"{name} — {EXPERIMENTS[name]}")
+        )
+        summary = speedup_summary(results, System.UVM_OPT.value)
+        if summary:
+            sections.append("```\n" + summary + "\n```")
+        print()
+    report = "# UVM Discard reproduction report\n\n" + "\n\n".join(sections) + "\n"
+    with open(args.output, "w") as handle:
+        handle.write(report)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    import numpy as np
+
+    from repro.cuda.runtime import CudaRuntime
+    from repro.workloads.vector_add import uvm_vector_add
+
+    n = 1024 * 1024
+    runtime = CudaRuntime()
+    out = {}
+
+    def program(cuda):
+        out["result"] = yield from uvm_vector_add(
+            cuda, n, reuse_with_discard="eager"
+        )
+
+    runtime.run(program)
+    expected = np.arange(n, dtype=np.float32) + 4.0
+    ok = np.allclose(out["result"], expected)
+    stats = runtime.stats()
+    print(
+        f"VectorAdd with discard+reuse: result {'OK' if ok else 'WRONG'}, "
+        f"{stats['traffic_gb'] * 1e3:.1f} MB of traffic in "
+        f"{stats['elapsed_seconds'] * 1e3:.2f} ms simulated"
+    )
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UVM Discard reproduction (IISWC 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see 'list')")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=0.125,
+        help="workload/GPU scale factor (1.0 = paper scale)",
+    )
+    run.add_argument(
+        "--link", default="gen4", choices=("gen3", "gen4"), help="PCIe generation"
+    )
+    run.add_argument("--csv", help="also write raw rows to this CSV file")
+    run.set_defaults(func=cmd_run)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run every experiment and write a markdown report"
+    )
+    reproduce.add_argument("--scale", type=float, default=0.0625)
+    reproduce.add_argument(
+        "--link", default="gen4", choices=("gen3", "gen4")
+    )
+    reproduce.add_argument(
+        "--output", default="reproduction_report.md", help="report path"
+    )
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    sub.add_parser("demo", help="run the VectorAdd demo").set_defaults(
+        func=cmd_demo
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the UVM discard directive.
+
+§4 defines the directive's semantics; §5 gives two implementations that
+this package provides as drop-in discard *managers* over the simulated
+driver:
+
+- :class:`~repro.core.eager.UvmDiscard` — eagerly destroys virtual
+  mappings so that any re-access faults and re-notifies the driver.
+  Easy to use, but pays GPU PTE-clear + TLB-invalidate round-trips and
+  extra faults (§5.1).
+- :class:`~repro.core.lazy.UvmDiscardLazy` — clears a software dirty bit
+  and leaves mappings intact; the program must issue the (now mandatory)
+  prefetch before re-purposing the region (§5.2).
+
+Both share the 2 MiB alignment policy (§5.4), the discarded page queue
+(§5.5), delayed reclamation (§5.6) and access-after-discard revival
+(§5.7), all of which live in the driver; the managers implement the
+directive-level behaviour and cost accounting.
+"""
+
+from repro.core.advisor import DiscardAdvisor, ReuseEvent
+from repro.core.discard import DiscardManager, DiscardOutcome
+from repro.core.eager import UvmDiscard
+from repro.core.lazy import UvmDiscardLazy
+from repro.core.semantics import DataOracle, OracleEvent
+
+__all__ = [
+    "DiscardManager",
+    "DiscardOutcome",
+    "UvmDiscard",
+    "UvmDiscardLazy",
+    "DataOracle",
+    "OracleEvent",
+    "DiscardAdvisor",
+    "ReuseEvent",
+]

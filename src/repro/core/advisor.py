@@ -1,0 +1,122 @@
+"""Discard-insertion advisor (the paper's §8 extension hook).
+
+The related-work section notes that "a compiler-assisted approach that
+detects the buffer reuse distance can be extended to diagnose the
+insertion of UvmDiscard API calls" [29].  This module implements that
+diagnosis over an observed access trace: it watches the sequence of
+kernel-level buffer accesses and reports, for each buffer use, whether the
+buffer's *next* access overwrites it without reading — exactly the
+condition under which a discard directly after the current use is safe
+and eliminates any intervening transfer.
+
+The trainer uses this in tests to validate that its hand-placed discards
+match the provably-safe set; users can run it on their own programs to
+find discard opportunities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.access import AccessMode
+
+
+@dataclass(frozen=True)
+class ReuseEvent:
+    """One observed kernel-level access to a named buffer."""
+
+    step: int
+    kernel: str
+    buffer: str
+    mode: AccessMode
+
+
+@dataclass(frozen=True)
+class DiscardSuggestion:
+    """A provably safe discard point.
+
+    The buffer's contents after ``after_kernel`` (access number
+    ``after_step``) are dead: the next access, if any, overwrites them
+    without reading.  ``reuse_distance`` is the number of intervening
+    accesses to *other* buffers, a proxy for how likely the region is to
+    be uselessly evicted and re-migrated in between.
+    """
+
+    buffer: str
+    after_kernel: str
+    after_step: int
+    reuse_distance: Optional[int]
+
+
+class DiscardAdvisor:
+    """Derives safe discard points from an access trace."""
+
+    def __init__(self) -> None:
+        self._trace: List[ReuseEvent] = []
+
+    def observe(self, kernel: str, buffer: str, mode: AccessMode) -> None:
+        """Record one buffer access, in program order."""
+        self._trace.append(ReuseEvent(len(self._trace), kernel, buffer, mode))
+
+    @property
+    def trace(self) -> List[ReuseEvent]:
+        return list(self._trace)
+
+    def suggestions(self) -> List[DiscardSuggestion]:
+        """All safe discard points in the observed trace.
+
+        An access at step *i* to buffer *B* yields a suggestion iff the
+        next access to *B* (at step *j* > *i*) has mode ``WRITE`` — a full
+        overwrite that never reads the old contents — or there is no later
+        access to *B* at all (dead at end of trace).
+        """
+        next_access: Dict[str, Optional[ReuseEvent]] = {}
+        results: List[DiscardSuggestion] = []
+        # Walk backwards so each event can see the following access.
+        for event in reversed(self._trace):
+            successor = next_access.get(event.buffer)
+            dead_after = successor is None or (
+                successor.mode is AccessMode.WRITE
+            )
+            if dead_after:
+                distance = (
+                    successor.step - event.step - 1 if successor is not None else None
+                )
+                results.append(
+                    DiscardSuggestion(
+                        buffer=event.buffer,
+                        after_kernel=event.kernel,
+                        after_step=event.step,
+                        reuse_distance=distance,
+                    )
+                )
+            next_access[event.buffer] = event
+        results.reverse()
+        return results
+
+    def suggested_after(self, kernel: str) -> List[str]:
+        """Buffer names that are safely discardable right after ``kernel``.
+
+        When a kernel appears multiple times in the trace, a buffer is
+        included only if it is discardable after *every* occurrence —
+        the conservative rule a static insertion tool must follow.
+        """
+        by_kernel: Dict[str, List[DiscardSuggestion]] = {}
+        for suggestion in self.suggestions():
+            by_kernel.setdefault(suggestion.after_kernel, []).append(suggestion)
+        occurrence_counts: Dict[str, int] = {}
+        for event in self._trace:
+            key = (event.kernel, event.buffer)
+            occurrence_counts[key] = occurrence_counts.get(key, 0) + 1  # type: ignore[index]
+        safe: List[str] = []
+        for suggestion in by_kernel.get(kernel, []):
+            total = occurrence_counts.get((kernel, suggestion.buffer), 0)  # type: ignore[call-overload]
+            safe_count = sum(
+                1
+                for s in by_kernel.get(kernel, [])
+                if s.buffer == suggestion.buffer
+            )
+            if safe_count == total and suggestion.buffer not in safe:
+                safe.append(suggestion.buffer)
+        return safe

@@ -1,0 +1,147 @@
+"""Discard directive base machinery shared by both implementations.
+
+Handles the parts §4/§5.4 define independently of eager-vs-lazy:
+
+- resolving a virtual address range to the driver's 2 MiB va_blocks,
+- the alignment policy — "the discard operation prefers full 2 MiB-aligned
+  virtual regions and sometimes ignores partial ones" (§5.4), so partial
+  blocks are skipped (and counted) rather than splitting 2 MiB mappings,
+- skipping blocks that are already discarded (idempotence),
+- per-call cost accounting, returned as a :class:`DiscardOutcome`.
+
+Subclasses implement :meth:`_discard_block` (the per-block state
+transition + cost) and :meth:`_batch_epilogue` (per-call costs such as the
+eager variant's TLB invalidation round-trips).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generator, Iterable, List, Sequence, Tuple
+
+from repro.driver.driver import UvmDriver
+from repro.driver.va_block import VaBlock
+from repro.vm.layout import VaRange
+
+
+@dataclass(frozen=True)
+class DiscardOutcome:
+    """Result of one discard API call."""
+
+    requested_blocks: int
+    discarded_blocks: int
+    ignored_partial_blocks: int
+    already_discarded_blocks: int
+    time_cost: float
+    #: Blocks whose 2 MiB mapping was split by a partial discard (only
+    #: with the §5.4 policy disabled).
+    split_blocks: int = 0
+
+
+class DiscardManager(abc.ABC):
+    """Applies the discard directive to block sets through the driver."""
+
+    #: Human-readable implementation name ("UvmDiscard"/"UvmDiscardLazy").
+    name: str = "abstract"
+
+    def __init__(self, driver: UvmDriver) -> None:
+        self.driver = driver
+        self.calls = 0
+        self.total_cost = 0.0
+
+    # -- range resolution (§5.4 policy) ---------------------------------
+
+    def select_blocks(
+        self, blocks: Sequence[VaBlock], rng: VaRange
+    ) -> Tuple[List[VaBlock], int, List[VaBlock]]:
+        """Blocks of ``blocks`` the directive applies to within ``rng``.
+
+        Returns ``(targets, ignored_partial, split)``.  With the driver's
+        ``require_full_blocks`` policy (the paper's default), a block is a
+        target only if ``rng`` covers all of its used bytes; partially
+        covered blocks are ignored to avoid splitting 2 MiB mappings.
+        With the policy disabled, partially covered blocks are *split*
+        instead: their live remainder is preserved but every future
+        migration of the block moves in 4 KiB pieces (§5.4's cost
+        argument).
+        """
+        targets: List[VaBlock] = []
+        ignored = 0
+        split: List[VaBlock] = []
+        for block in blocks:
+            block_range = block.va_range
+            if not block_range.overlaps(rng):
+                continue
+            if rng.contains_range(block_range):
+                targets.append(block)
+            elif self.driver.config.require_full_blocks:
+                ignored += 1
+            else:
+                split.append(block)
+        return targets, ignored, split
+
+    # -- the directive ----------------------------------------------------
+
+    def discard(self, blocks: Iterable[VaBlock]) -> Generator:
+        """Simulation process applying the directive to ``blocks``.
+
+        Returns a :class:`DiscardOutcome` (via the process return value).
+        """
+        blocks = list(blocks)
+        cost = self.driver.config.discard_command_overhead
+        discarded = 0
+        skipped = 0
+        for block in blocks:
+            if block.discarded:
+                skipped += 1
+                continue
+            cost += self._discard_block(block)
+            discarded += 1
+        cost += self._batch_epilogue(blocks)
+        self.calls += 1
+        self.total_cost += cost
+        if cost:
+            yield self.driver.env.timeout(cost)
+        return DiscardOutcome(
+            requested_blocks=len(blocks),
+            discarded_blocks=discarded,
+            ignored_partial_blocks=0,
+            already_discarded_blocks=skipped,
+            time_cost=cost,
+        )
+
+    def discard_range(self, blocks: Sequence[VaBlock], rng: VaRange) -> Generator:
+        """Apply the directive to ``rng``, honouring the §5.4 policy."""
+        targets, ignored, split = self.select_blocks(blocks, rng)
+        split_cost = 0.0
+        for block in split:
+            if not block.split:
+                block.split = True
+                # Splitting rewrites the block's PTEs: one unmap plus the
+                # small-page re-population on the owning processor.
+                if block.on_gpu:
+                    table = self.driver.gpu_page_table(block.residency)  # type: ignore[arg-type]
+                    split_cost += table.costs.unmap_block
+                    split_cost += table.costs.map_block
+        if split_cost:
+            yield self.driver.env.timeout(split_cost)
+        outcome: DiscardOutcome = yield from self.discard(targets)
+        return DiscardOutcome(
+            requested_blocks=outcome.requested_blocks + ignored + len(split),
+            discarded_blocks=outcome.discarded_blocks,
+            ignored_partial_blocks=ignored,
+            already_discarded_blocks=outcome.already_discarded_blocks,
+            time_cost=outcome.time_cost + split_cost,
+            split_blocks=len(split),
+        )
+
+    # -- subclass hooks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def _discard_block(self, block: VaBlock) -> float:
+        """Transition one live block to discarded; return the time cost."""
+
+    def _batch_epilogue(self, blocks: Sequence[VaBlock]) -> float:
+        """Per-call cost applied after the per-block work (default none)."""
+        return 0.0

@@ -1,0 +1,119 @@
+"""Ground-truth oracle for the discard directive's data semantics.
+
+§4.1 of the paper: after a discard, "a subsequent read by either a CPU or
+a GPU can return either zeros or old data values. ... On the other hand, a
+new value written after the discard operation ... is guaranteed to be seen
+by a subsequent read, until a future discard operation is made."
+
+The oracle tracks, independently of the driver, which blocks the program
+has written since their last discard.  If the driver ever *loses* such a
+write — the `UvmDiscardLazy` misuse of re-purposing a region without the
+mandatory prefetch, followed by reclamation (§5.2) — the block becomes
+*corrupted*: a later read would observe neither zeros-or-old-values nor
+the guaranteed new value.  Tests run the oracle in strict mode, where a
+corrupted read raises; experiments count events instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.driver.va_block import VaBlock
+from repro.errors import DataCorruptionError
+
+
+@dataclass(frozen=True)
+class OracleEvent:
+    """One semantics-relevant incident observed by the oracle."""
+
+    time: float
+    block_index: int
+    kind: str  # "corruption" | "corrupted_read" | "read_after_discard"
+    detail: str
+
+
+class DataOracle:
+    """Validates program reads against the §4.1 discard semantics.
+
+    Args:
+        strict: raise :class:`DataCorruptionError` the moment a read
+            observes a corrupted block.  Non-strict mode records an event
+            and lets the simulation continue (matching what real hardware
+            would do: silently return wrong data).
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.events: List[OracleEvent] = []
+        self._corrupted: Set[int] = set()
+        #: Version of the newest guaranteed-visible write per block.
+        self._guaranteed: Dict[int, int] = {}
+
+    @property
+    def corrupted_blocks(self) -> Set[int]:
+        return set(self._corrupted)
+
+    @property
+    def corruption_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "corruption")
+
+    @property
+    def corrupted_read_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "corrupted_read")
+
+    def record_write(self, time: float, block: VaBlock) -> None:
+        """The program wrote new values to ``block`` (post-bump version)."""
+        # A write produces fresh guaranteed-visible data; if the block was
+        # previously corrupted, the new write heals it.
+        self._guaranteed[block.index] = block.version
+        self._corrupted.discard(block.index)
+
+    def record_discard(self, time: float, block: VaBlock) -> None:
+        """The program discarded ``block``: no value is guaranteed anymore."""
+        self._guaranteed.pop(block.index, None)
+        # Discard also waives any pending corruption: nothing is guaranteed,
+        # so no future read can observe a violation from past lost writes.
+        self._corrupted.discard(block.index)
+
+    def record_data_loss(self, time: float, block: VaBlock, detail: str) -> None:
+        """The driver dropped data the program was guaranteed to see.
+
+        Called by the eviction path when it reclaims, as discarded, a block
+        that the program has re-written without notifying the driver.
+        """
+        if block.index in self._guaranteed:
+            self._corrupted.add(block.index)
+            self.events.append(
+                OracleEvent(time, block.index, "corruption", detail)
+            )
+
+    def validate_read(self, time: float, block: VaBlock) -> None:
+        """Check a program read of ``block`` against the semantics.
+
+        Reads of discarded-but-unwritten blocks are *legal* (they may see
+        zeros or stale values); reads of corrupted blocks are violations.
+        """
+        if block.index in self._corrupted:
+            event = OracleEvent(
+                time,
+                block.index,
+                "corrupted_read",
+                "read observed data lost by a lazy-discard reclamation",
+            )
+            self.events.append(event)
+            if self.strict:
+                raise DataCorruptionError(
+                    f"block {block.index}: {event.detail} at t={time:.6f}s"
+                )
+        elif block.discarded and not block.written_since_discard:
+            # Legal but worth surfacing: the program consumes unspecified
+            # values.  Usually a sign the discard call was misplaced.
+            self.events.append(
+                OracleEvent(
+                    time,
+                    block.index,
+                    "read_after_discard",
+                    "read of a discarded block before any new write",
+                )
+            )

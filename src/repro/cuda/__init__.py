@@ -1,0 +1,33 @@
+"""CUDA runtime facade.
+
+The application-facing layer of the simulator: devices, streams, managed
+memory (`cudaMallocManaged`), prefetch (`cudaMemPrefetchAsync`), the new
+discard calls (`UvmDiscardAsync` / `UvmDiscardLazyAsync`), kernel launch,
+and the explicit-copy API used by the No-UVM baselines.
+
+Programs are written as host generators receiving a
+:class:`~repro.cuda.runtime.CudaRuntime` — see Listing 2/3 of the paper
+and ``examples/quickstart.py`` for the idiom.
+"""
+
+from repro.cuda.costs import ApiCostModel
+from repro.cuda.device import GpuSpec, HostSpec, a100_40gb, gtx_1070, rtx_3080ti
+from repro.cuda.kernel import BufferAccess, KernelSpec
+from repro.cuda.memory import DeviceBuffer, ManagedBuffer
+from repro.cuda.runtime import CudaRuntime
+from repro.cuda.stream import CudaStream
+
+__all__ = [
+    "ApiCostModel",
+    "GpuSpec",
+    "HostSpec",
+    "rtx_3080ti",
+    "gtx_1070",
+    "a100_40gb",
+    "BufferAccess",
+    "KernelSpec",
+    "ManagedBuffer",
+    "DeviceBuffer",
+    "CudaRuntime",
+    "CudaStream",
+]

@@ -1,0 +1,80 @@
+"""CUDA API call cost model (Table 2).
+
+Table 2 of the paper measures the synchronous cost of `cudaMalloc`,
+`cudaFree` and `UvmDiscard` for buffers of 2-128 MB.  `UvmDiscard`'s cost
+is *computed* by the simulator from its unmapping work; the allocation
+calls, whose cost lives inside the closed CUDA runtime, are modelled here
+by log-size interpolation of the paper's measurements.  These costs are
+what makes the manual alloc/free swap strategy of Listing 5 expensive and
+motivated PyTorch's caching allocator — both reproduced in
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.units import MB, us
+
+#: (buffer size, cost in seconds) calibration points from Table 2.
+MALLOC_POINTS: Tuple[Tuple[int, float], ...] = (
+    (2 * MB, us(48)),
+    (8 * MB, us(184)),
+    (32 * MB, us(726)),
+    (128 * MB, us(939)),
+)
+
+FREE_POINTS: Tuple[Tuple[int, float], ...] = (
+    (2 * MB, us(32)),
+    (8 * MB, us(38)),
+    (32 * MB, us(63)),
+    (128 * MB, us(1184)),
+)
+
+
+def _interpolate(points: Sequence[Tuple[int, float]], nbytes: int) -> float:
+    """Piecewise-linear interpolation in log2(size) space.
+
+    Below the first point, costs are clamped to the smallest measurement
+    (there is a floor of fixed API overhead); above the last point the
+    final segment's slope is extrapolated.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"size must be positive: {nbytes}")
+    if nbytes <= points[0][0]:
+        return points[0][1]
+    x = math.log2(nbytes)
+    xs: List[float] = [math.log2(size) for size, _ in points]
+    ys: List[float] = [cost for _, cost in points]
+    for i in range(1, len(points)):
+        if x <= xs[i]:
+            t = (x - xs[i - 1]) / (xs[i] - xs[i - 1])
+            return ys[i - 1] + t * (ys[i] - ys[i - 1])
+    slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+    return max(ys[-1], ys[-1] + slope * (x - xs[-1]))
+
+
+class ApiCostModel:
+    """Synchronous host-side costs of CUDA memory-management API calls."""
+
+    #: Cost of `cudaMallocManaged`: a VA-space reservation only — physical
+    #: memory is populated lazily on first touch (Figure 1 ①).
+    MALLOC_MANAGED = us(6.0)
+
+    #: Fixed cost of enqueuing any async operation onto a stream.
+    ENQUEUE = us(1.5)
+
+    def malloc_device(self, nbytes: int) -> float:
+        """`cudaMalloc` cost in seconds (Table 2 row 1)."""
+        return _interpolate(MALLOC_POINTS, nbytes)
+
+    def free_device(self, nbytes: int) -> float:
+        """`cudaFree` cost in seconds (Table 2 row 2)."""
+        return _interpolate(FREE_POINTS, nbytes)
+
+    def malloc_managed(self, nbytes: int) -> float:
+        """`cudaMallocManaged` cost in seconds (size-independent)."""
+        if nbytes <= 0:
+            raise ValueError(f"size must be positive: {nbytes}")
+        return self.MALLOC_MANAGED

@@ -1,0 +1,111 @@
+"""Device models.
+
+Parameterized CPU/GPU specifications with presets for the paper's testbed
+hardware: the RTX 3080 Ti used in §7 (11.77 GB usable), the GTX 1070 of
+Table 1, and an A100 for the §2.3 discussion.  All evaluation-relevant
+behaviour flows from these numbers: memory capacity (oversubscription),
+sustained kernel throughput (compute time), and zeroing bandwidth.
+
+``scaled()`` shrinks a device for fast test/bench runs: capacity scales
+down together with the workload, preserving every ratio the paper's
+tables report (normalized runtime, traffic reduction, crossover points)
+while cutting simulated block counts by the same factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import GB, GIB
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A discrete GPU's evaluation-relevant parameters.
+
+    Attributes:
+        name: processor identifier used throughout the simulator.
+        memory_bytes: usable device memory (after driver carve-outs).
+        effective_flops: sustained FLOP/s our kernel-time model divides
+            kernel FLOP counts by.  This is deliberately *sustained*, not
+            peak: it already folds in typical utilization.
+        local_bandwidth: device DRAM bandwidth in bytes/s (§2.3 context).
+        zero_bandwidth: copy-engine zeroing bandwidth (§5.4).
+        model: marketing name, for reports.
+    """
+
+    name: str
+    memory_bytes: int
+    effective_flops: float
+    local_bandwidth: float
+    zero_bandwidth: float
+    model: str
+
+    def scaled(self, factor: float) -> "GpuSpec":
+        """A capacity-scaled copy (workloads must scale by the same factor)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor}")
+        return replace(self, memory_bytes=int(self.memory_bytes * factor))
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The host CPU + DRAM side of the platform."""
+
+    memory_bytes: int
+    #: Sustained host-side bandwidth for program reads/writes of managed
+    #: memory (a single-socket DDR4-3200 system, one streaming core).
+    memory_bandwidth: float
+    model: str
+
+    def scaled(self, factor: float) -> "HostSpec":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor}")
+        return HostSpec(
+            int(self.memory_bytes * factor), self.memory_bandwidth, self.model
+        )
+
+
+def rtx_3080ti(name: str = "gpu0") -> GpuSpec:
+    """The paper's §7 evaluation GPU: 'a total of 11.77GB physical memory'."""
+    return GpuSpec(
+        name=name,
+        memory_bytes=int(11.77 * GIB),
+        effective_flops=12e12,
+        local_bandwidth=912 * GB,
+        zero_bandwidth=500 * GB,
+        model="NVIDIA GeForce RTX 3080 Ti",
+    )
+
+
+def gtx_1070(name: str = "gpu0") -> GpuSpec:
+    """Table 1's GPU (8 GB, PCIe-3 era)."""
+    return GpuSpec(
+        name=name,
+        memory_bytes=int(7.92 * GIB),
+        effective_flops=3.2e12,
+        local_bandwidth=256 * GB,
+        zero_bandwidth=180 * GB,
+        model="NVIDIA GeForce GTX 1070",
+    )
+
+
+def a100_40gb(name: str = "gpu0") -> GpuSpec:
+    """The A100 referenced in §2.3 (>2 TB/s local bandwidth)."""
+    return GpuSpec(
+        name=name,
+        memory_bytes=40 * GIB,
+        effective_flops=60e12,
+        local_bandwidth=2039 * GB,
+        zero_bandwidth=900 * GB,
+        model="NVIDIA A100 40GB",
+    )
+
+
+def ryzen_3900x() -> HostSpec:
+    """The paper's host: 12-core Ryzen 3900X with 64 GB DDR4-3200."""
+    return HostSpec(
+        memory_bytes=64 * GIB,
+        memory_bandwidth=20 * GB,
+        model="AMD Ryzen 9 3900X, 64 GiB DDR4-3200",
+    )

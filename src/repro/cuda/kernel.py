@@ -1,0 +1,100 @@
+"""Kernel specifications.
+
+A simulated GPU kernel is described by *what memory it touches and how*:
+for each buffer, an :class:`~repro.access.AccessMode` (read / full
+overwrite / read-modify-write) and an access pattern that orders the
+buffer's va_blocks into fault "waves".  This is all the memory system can
+observe of a real kernel, and it is exactly the information that
+determines redundant memory transfers (§3).
+
+Compute time comes from a FLOP count divided by the device's sustained
+throughput, or an explicit duration.  An optional Python ``fn`` runs at
+kernel completion in functional simulations to produce real results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.access import AccessMode
+from repro.cuda.memory import ManagedBuffer
+from repro.errors import ConfigurationError
+from repro.gpu.access import AccessPattern, SequentialPattern
+from repro.vm.layout import VaRange
+
+
+@dataclass
+class BufferAccess:
+    """One buffer operand of a kernel."""
+
+    buffer: ManagedBuffer
+    mode: AccessMode
+    #: Restrict the access to part of the buffer (e.g. FIR's sliding
+    #: window); ``None`` means the whole buffer.
+    rng: Optional[VaRange] = None
+    pattern: AccessPattern = field(default_factory=SequentialPattern)
+
+    def blocks(self):
+        return self.buffer.blocks_in(self.rng)
+
+
+@dataclass
+class KernelSpec:
+    """A launchable GPU kernel."""
+
+    name: str
+    accesses: Sequence[BufferAccess]
+    #: Total floating-point work; compute time = flops / effective_flops.
+    flops: float = 0.0
+    #: Explicit compute time in seconds; overrides ``flops`` when set.
+    duration: Optional[float] = None
+    #: Number of fault waves the kernel's footprint is processed in.
+    #: More waves = finer interleaving of faulting and compute.
+    waves: int = 1
+    #: Optional functional body, called once at completion with no
+    #: arguments (closures capture the buffers' arrays).
+    fn: Optional[Callable[[], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.waves < 1:
+            raise ConfigurationError(f"kernel {self.name!r}: waves must be >= 1")
+        if self.duration is None and self.flops < 0:
+            raise ConfigurationError(f"kernel {self.name!r}: negative flops")
+
+    def compute_seconds(self, effective_flops: float) -> float:
+        """Total compute time on a device with ``effective_flops``."""
+        if self.duration is not None:
+            return self.duration
+        if effective_flops <= 0:
+            raise ConfigurationError(
+                f"effective_flops must be positive: {effective_flops}"
+            )
+        return self.flops / effective_flops
+
+
+def launch_bounds(kernel: KernelSpec) -> int:
+    """Total bytes of managed memory the kernel's accesses cover."""
+    total = 0
+    for access in kernel.accesses:
+        rng = access.rng if access.rng is not None else access.buffer.va_range
+        total += rng.length
+    return total
+
+
+AccessLike = Union[BufferAccess, tuple]
+
+
+def access(
+    buffer: ManagedBuffer,
+    mode: AccessMode,
+    rng: Optional[VaRange] = None,
+    pattern: Optional[AccessPattern] = None,
+) -> BufferAccess:
+    """Convenience constructor mirroring CUDA kernel argument lists."""
+    return BufferAccess(
+        buffer=buffer,
+        mode=mode,
+        rng=rng,
+        pattern=pattern if pattern is not None else SequentialPattern(),
+    )

@@ -1,0 +1,114 @@
+"""Memory objects: managed (UVM) buffers and explicit device buffers.
+
+:class:`ManagedBuffer` is what `cudaMallocManaged` returns — a span of the
+unified address space decomposed into the driver's 2 MiB va_blocks, valid
+from both host and device code (§2.1).  An optional NumPy array can back
+the buffer for *functional* simulation, where kernels additionally compute
+real results (used by the examples and semantics tests).
+
+:class:`DeviceBuffer` is the explicit `cudaMalloc` allocation used by the
+No-UVM baselines; it occupies reserved GPU frames outside UVM's reach and
+is never migrated automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.driver.va_block import VaBlock
+from repro.errors import InvalidAddressError, SimulationError
+from repro.units import BIG_PAGE
+from repro.vm.layout import VaRange
+
+
+class ManagedBuffer:
+    """One `cudaMallocManaged` allocation."""
+
+    def __init__(
+        self,
+        name: str,
+        va_range: VaRange,
+        array: Optional[np.ndarray] = None,
+    ) -> None:
+        self.name = name
+        self.va_range = va_range
+        self.array = array
+        self.freed = False
+        self.blocks: List[VaBlock] = []
+        offset = va_range.start
+        while offset < va_range.end:
+            block_start = offset - (offset % BIG_PAGE)
+            block_end = min(block_start + BIG_PAGE, va_range.end)
+            used = block_end - max(offset, block_start)
+            block = VaBlock(block_start // BIG_PAGE, used, buffer=self)
+            self.blocks.append(block)
+            offset = block_end
+
+    @property
+    def nbytes(self) -> int:
+        return self.va_range.length
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise SimulationError(f"use-after-free of managed buffer {self.name!r}")
+
+    def subrange(self, offset: int = 0, length: Optional[int] = None) -> VaRange:
+        """A VA range within this buffer (defaults to the whole buffer)."""
+        self._check_live()
+        if length is None:
+            length = self.nbytes - offset
+        return self.va_range.subrange(offset, length)
+
+    def blocks_in(self, rng: Optional[VaRange] = None) -> List[VaBlock]:
+        """The va_blocks overlapping ``rng`` (all blocks if ``None``)."""
+        self._check_live()
+        if rng is None:
+            return list(self.blocks)
+        if not self.va_range.contains_range(rng):
+            raise InvalidAddressError(f"{rng!r} is outside buffer {self.name!r}")
+        return [b for b in self.blocks if b.va_range.overlaps(rng)]
+
+    def resident_bytes_on(self, processor: str) -> int:
+        """Bytes of this buffer currently resident on ``processor``."""
+        self._check_live()
+        return sum(b.used_bytes for b in self.blocks if b.residency == processor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self.freed else f"{len(self.blocks)} blocks"
+        return f"<ManagedBuffer {self.name!r} {self.nbytes} bytes, {state}>"
+
+
+class DeviceBuffer:
+    """One explicit `cudaMalloc` allocation (No-UVM baselines).
+
+    Device buffers occupy GPU memory for their whole lifetime; there is no
+    migration, no faulting and no discard — the program moves data with
+    explicit `cudaMemcpy` calls, exactly as in the paper's Listing 1/4/5.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nbytes: int,
+        gpu: str,
+        array: Optional[np.ndarray] = None,
+    ) -> None:
+        if nbytes <= 0:
+            raise InvalidAddressError(f"buffer size must be positive: {nbytes}")
+        self.name = name
+        self.nbytes = nbytes
+        self.gpu = gpu
+        self.array = array
+        self.freed = False
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self.freed else "live"
+        return f"<DeviceBuffer {self.name!r} {self.nbytes} bytes on {self.gpu}, {state}>"

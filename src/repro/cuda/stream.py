@@ -1,0 +1,118 @@
+"""CUDA streams and events.
+
+A stream serializes the operations enqueued on it — kernel launches,
+prefetches, discards, memcpys — while separate streams proceed
+concurrently, contending only for physical resources (SM engine, copy
+engines).  §4.2 of the paper: "UvmDiscard should be ordered like a memory
+operation with other CUDA APIs and computation"; stream order is exactly
+that ordering.
+
+Implementation: each stream keeps the :class:`~repro.engine.core.Process`
+of its most recently enqueued operation; a new operation's process first
+waits on its predecessor, so the chain executes in FIFO order without any
+explicit queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.engine.core import Environment, Event, Process
+
+
+class CudaEvent:
+    """A CUDA event: recorded on one stream, awaitable from another."""
+
+    def __init__(self, env: Environment, name: str = "event") -> None:
+        self.env = env
+        self.name = name
+        self._fired: Optional[Event] = None
+
+    def _bind(self, completion: Event) -> None:
+        self._fired = completion
+
+    @property
+    def recorded(self) -> bool:
+        return self._fired is not None
+
+    def wait_target(self) -> Event:
+        if self._fired is None:
+            # Waiting on an unrecorded event completes immediately, as in
+            # CUDA where cudaStreamWaitEvent on a fresh event is a no-op.
+            immediate = Event(self.env)
+            immediate.succeed(None)
+            return immediate
+        return self._fired
+
+
+class CudaStream:
+    """One in-order CUDA stream."""
+
+    def __init__(self, env: Environment, name: str = "stream") -> None:
+        self.env = env
+        self.name = name
+        self._tail: Optional[Process] = None
+        self.ops_enqueued = 0
+
+    def enqueue(self, op_factory: Callable[[], Generator]) -> Process:
+        """Append an async operation; returns its process (an Event)."""
+        predecessor = self._tail
+
+        def runner() -> Generator:
+            if predecessor is not None:
+                yield predecessor
+            result = yield from op_factory()
+            return result
+
+        process = self.env.process(runner())
+        self._tail = process
+        self.ops_enqueued += 1
+        return process
+
+    def record_event(self, event: CudaEvent) -> None:
+        """`cudaEventRecord`: event fires when work enqueued so far finishes."""
+        tail = self._tail
+
+        def marker() -> Generator:
+            if tail is not None:
+                yield tail
+            return None
+
+        event._bind(self.env.process(marker()))
+
+    def wait_event(self, event: CudaEvent) -> None:
+        """`cudaStreamWaitEvent`: later ops wait for ``event``."""
+        self.enqueue(lambda: self._wait(event))
+
+    @staticmethod
+    def _wait(event: CudaEvent) -> Generator:
+        yield event.wait_target()
+
+    def wait_for(self, dependency: Event) -> None:
+        """Make later ops on this stream wait for a raw engine event.
+
+        Convenience for cross-stream dependencies on an operation's
+        process handle (e.g. "kernel must not start before its window's
+        prefetch finished").
+        """
+        self.enqueue(lambda: self._yield_one(dependency))
+
+    @staticmethod
+    def _yield_one(dependency: Event) -> Generator:
+        yield dependency
+
+    def synchronize(self) -> Generator:
+        """Host-side `cudaStreamSynchronize`: wait for all enqueued work."""
+        if self._tail is not None:
+            yield self._tail
+
+    @property
+    def idle(self) -> bool:
+        return self._tail is None or self._tail.triggered
+
+
+def synchronize_all(env: Environment, streams: List[CudaStream]) -> Generator:
+    """`cudaDeviceSynchronize`: wait for every stream to drain."""
+    tails = [s._tail for s in streams if s._tail is not None]
+    if tails:
+        yield env.all_of(tails)

@@ -1,0 +1,28 @@
+"""Simulated NVIDIA UVM driver.
+
+This package reproduces the driver machinery the paper modifies:
+
+- 2 MiB **va_blocks** as the management unit (§5.4),
+- per-GPU **page queues** — free, unused FIFO, used pseudo-LRU, and the
+  paper's new **discarded FIFO** queue (§5.5),
+- the **eviction process** and its modified ordering
+  unused → discarded → LRU (§5.5),
+- fault-driven **migration** with contiguity coalescing,
+- **prefetch** (`cudaMemPrefetchAsync`) that pre-faults, populates, and —
+  for `UvmDiscardLazy` — sets software dirty bits (§5.2),
+- **delayed physical reclamation** of discarded pages (§5.6) and
+  access-after-discard revival (§5.7).
+"""
+
+from repro.driver.config import UvmDriverConfig
+from repro.driver.driver import UvmDriver
+from repro.driver.queues import GpuPageQueues
+from repro.driver.va_block import DiscardKind, VaBlock
+
+__all__ = [
+    "UvmDriver",
+    "UvmDriverConfig",
+    "GpuPageQueues",
+    "VaBlock",
+    "DiscardKind",
+]

@@ -1,0 +1,918 @@
+"""The simulated UVM driver.
+
+Reproduces the state machines of NVIDIA's open-source UVM kernel driver
+that the paper builds on and modifies: fault-driven migration with
+exclusive residency (§2.2), prefetch (§2.1), the per-GPU page queues and
+the eviction process with the paper's modified ordering (§5.5), delayed
+reclamation of discarded pages (§5.6), and access-after-discard revival
+(§5.7).  The two discard implementations in :mod:`repro.core` drive the
+``discard_block_eager`` / ``discard_block_lazy`` transitions defined here.
+
+All externally visible operations that consume simulated time are
+generator *processes* for the discrete-event engine; pure state queries
+are plain methods.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Generator, Iterable, List, Optional, Sequence
+
+from repro.access import AccessMode
+from repro.core.semantics import DataOracle
+from repro.driver.config import UvmDriverConfig
+from repro.driver.migration import CopyEngines, MigrationEngine
+from repro.driver.queues import GpuPageQueues
+from repro.driver.va_block import CPU, DiscardKind, VaBlock
+from repro.engine.core import Environment
+from repro.errors import (
+    ConfigurationError,
+    DiscardSemanticsError,
+    OutOfMemoryError,
+    SimulationError,
+)
+from repro.instrument.counters import Counters
+from repro.instrument.eventlog import EventLog
+from repro.instrument.rmt import RmtClassifier
+from repro.instrument.traffic import TrafficRecorder, TransferDirection, TransferReason
+from repro.interconnect.link import Link
+from repro.memsim.frames import Frame, FrameAllocator
+from repro.memsim.zeroing import ZeroFillModel
+from repro.vm.page_table import MappingCosts, PageTable
+
+
+class _Plan(enum.Enum):
+    """Residency plan for one block during make-resident-on-GPU."""
+
+    REVIVE_EAGER = "revive_eager"  # §5.7: frame still present, remap
+    REVIVE_LAZY = "revive_lazy"  # §5.2: set software dirty bit back
+    ZERO = "zero"  # allocate + zero + map (no transfer: the saving)
+    MIGRATE = "migrate"  # real data on CPU: transfer it over
+    MIGRATE_PEER = "migrate_peer"  # real data on another GPU (D2D)
+
+
+class _GpuState:
+    """Per-GPU driver state: allocator, queues, page table, copy engines."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        capacity_bytes: int,
+        zero_model: ZeroFillModel,
+        mapping_costs: MappingCosts,
+    ) -> None:
+        self.name = name
+        self.allocator = FrameAllocator(name, capacity_bytes)
+        self.queues = GpuPageQueues(name)
+        self.page_table = PageTable(name, mapping_costs)
+        self.engines = CopyEngines(env)
+        self.zero_model = zero_model
+
+
+class UvmDriver:
+    """Simulated UVM driver for one host plus one or more GPUs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: Link,
+        config: Optional[UvmDriverConfig] = None,
+        oracle: Optional[DataOracle] = None,
+        p2p_link: Optional[Link] = None,
+    ) -> None:
+        self.env = env
+        self.link = link
+        #: Direct GPU-to-GPU interconnect (NVLink/NVSwitch, §2.3).  When
+        #: absent, peer migrations bounce through host memory.
+        self.p2p_link = p2p_link
+        self.config = config or UvmDriverConfig()
+        self.config.validate()
+        self.traffic = TrafficRecorder(self.config.keep_transfer_records)
+        self.rmt = RmtClassifier()
+        self.counters = Counters()
+        self.log = EventLog(enabled=self.config.event_log_enabled)
+        self.oracle = oracle or DataOracle()
+        self.migration = MigrationEngine(env, link, self.traffic, self.rmt)
+        # CPU PTE operations are local and cheap compared to GPU ones.
+        self.cpu_page_table = PageTable(
+            CPU,
+            MappingCosts(
+                map_block=0.2e-6,
+                unmap_block=0.2e-6,
+                tlb_invalidate=0.3e-6,
+                batch_overhead=0.1e-6,
+            ),
+        )
+        self._gpus: Dict[str, _GpuState] = {}
+        self._blocks: Dict[int, VaBlock] = {}
+        # Per-block mutual exclusion for concurrent residency operations
+        # (the simulator's equivalent of the real driver's va_block locks):
+        # maps a block index to an event that fires when the in-flight
+        # operation on that block completes.
+        self._inflight: Dict[int, object] = {}
+        # Per-GPU sequential-stream detection state for auto-prefetch.
+        self._stream_state: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register_gpu(
+        self,
+        name: str,
+        capacity_bytes: int,
+        zero_model: Optional[ZeroFillModel] = None,
+        mapping_costs: Optional[MappingCosts] = None,
+    ) -> None:
+        """Attach a GPU with ``capacity_bytes`` of device memory."""
+        if name in self._gpus or name == CPU:
+            raise ConfigurationError(f"duplicate or reserved processor name {name!r}")
+        self._gpus[name] = _GpuState(
+            self.env,
+            name,
+            capacity_bytes,
+            zero_model or ZeroFillModel(),
+            mapping_costs or MappingCosts(),
+        )
+
+    def gpu_names(self) -> List[str]:
+        return list(self._gpus)
+
+    def _gpu(self, name: str) -> _GpuState:
+        try:
+            return self._gpus[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown GPU {name!r}") from None
+
+    def gpu_free_bytes(self, name: str) -> int:
+        """Bytes obtainable without eviction (free frames + unused queue)."""
+        g = self._gpu(name)
+        from repro.units import BIG_PAGE
+
+        return g.allocator.free_bytes + len(g.queues.unused) * BIG_PAGE
+
+    def gpu_queues(self, name: str) -> GpuPageQueues:
+        return self._gpu(name).queues
+
+    def gpu_page_table(self, name: str) -> PageTable:
+        return self._gpu(name).page_table
+
+    def reserve_gpu_memory(self, name: str, nbytes: int) -> None:
+        """Pin ``nbytes`` of GPU memory outside UVM's reach.
+
+        Models both the oversubscription occupant of §7.1 and `cudaMalloc`
+        device allocations coexisting with managed memory.
+        """
+        from repro.units import BIG_PAGE, align_up
+
+        frames = align_up(nbytes, BIG_PAGE) // BIG_PAGE
+        self._gpu(name).allocator.reserve(frames)
+
+    def release_gpu_memory(self, name: str, nbytes: int) -> None:
+        """Undo a :meth:`reserve_gpu_memory` (the `cudaFree` path)."""
+        from repro.units import BIG_PAGE, align_up
+
+        frames = align_up(nbytes, BIG_PAGE) // BIG_PAGE
+        self._gpu(name).allocator.unreserve(frames)
+
+    def register_blocks(self, blocks: Iterable[VaBlock]) -> None:
+        """Make an allocation's blocks known to the driver."""
+        for block in blocks:
+            if block.index in self._blocks:
+                raise SimulationError(f"block {block.index} registered twice")
+            self._blocks[block.index] = block
+
+    def block(self, index: int) -> VaBlock:
+        try:
+            return self._blocks[index]
+        except KeyError:
+            raise SimulationError(f"unregistered block index {index}") from None
+
+    def release_blocks(self, blocks: Iterable[VaBlock]) -> None:
+        """Free an allocation: drop residency with no transfers.
+
+        Freeing implies the data is dead, so any pending transfer records
+        resolve as redundant and GPU frames go to the unused queue where
+        they can be handed out again with no migration (§5.5).
+        """
+        for block in blocks:
+            self.rmt.on_discard(block.index)
+            if block.on_gpu:
+                g = self._gpu(block.residency)  # type: ignore[arg-type]
+                g.queues.forget(block)
+                if g.page_table.is_mapped(block.index):
+                    g.page_table.unmap_block(block.index)
+                if block.frame is not None:
+                    g.queues.unused.append(block.frame)
+            if self.cpu_page_table.is_mapped(block.index):
+                self.cpu_page_table.unmap_block(block.index)
+            block.frame = None
+            block.residency = None
+            block.populated = False
+            self._blocks.pop(block.index, None)
+
+    # ------------------------------------------------------------------
+    # frame acquisition and eviction (§5.5)
+    # ------------------------------------------------------------------
+
+    def _acquire_frame(self, g: _GpuState, own_indices=frozenset()) -> Generator:
+        """Obtain one free frame, evicting if necessary.  Returns the Frame.
+
+        ``own_indices`` are block indices the *calling* operation holds
+        locks on; the starvation path must never wait on those.
+        """
+        stalls = 0
+        while True:
+            if g.queues.unused:
+                frame = g.queues.unused.popleft()
+                frame.prepared = False
+                return frame
+            try:
+                return g.allocator.allocate()
+            except OutOfMemoryError:
+                evicted = yield from self._evict_one(g)
+                if evicted:
+                    stalls = 0
+                    continue
+                # Everything evictable is locked by concurrent residency
+                # operations; wait for one to finish and retry.
+                foreign = [
+                    event
+                    for index, event in self._inflight.items()
+                    if index not in own_indices
+                ]
+                if not foreign:
+                    raise OutOfMemoryError(
+                        f"{g.name}: out of memory — this operation alone "
+                        "pins more blocks than the device has frames"
+                    ) from None
+                stalls += 1
+                if stalls > 10_000:
+                    raise SimulationError(
+                        f"{g.name}: allocation starved — concurrent "
+                        "operations pin more memory than the device has"
+                    )
+                yield foreign[0]  # type: ignore[misc]
+
+    def _pop_unlocked(self, pop, restore) -> Optional[VaBlock]:
+        """Pop the first queue entry with no in-flight residency operation.
+
+        Locked entries are skipped and restored in their original order —
+        the same strategy the real driver's eviction uses for va_blocks
+        whose lock it cannot take.
+        """
+        skipped = []
+        found: Optional[VaBlock] = None
+        while True:
+            try:
+                candidate = pop()
+            except SimulationError:
+                break
+            if candidate.index in self._inflight:
+                skipped.append(candidate)
+                continue
+            found = candidate
+            break
+        for block in reversed(skipped):
+            restore(block)
+        return found
+
+    def _evict_one(self, g: _GpuState) -> Generator:
+        """Reclaim one 2 MiB frame: unused → discarded → used-LRU (§5.5).
+
+        Returns ``True`` if a frame was reclaimed; ``False`` when every
+        candidate is locked by a concurrent operation.
+        """
+        if g.queues.unused:
+            g.allocator.free(g.queues.unused.popleft())
+            self.counters.bump(Counters.EVICTED_UNUSED_FRAMES)
+            return True
+        if self.config.discarded_queue_enabled and len(g.queues.discarded):
+            block = self._pop_unlocked(
+                g.queues.discarded.pop_oldest, g.queues.discarded.restore_oldest
+            )
+            if block is not None:
+                self._inflight[block.index] = self.env.event()
+                try:
+                    yield from self._reclaim_discarded(g, block)
+                finally:
+                    self._unlock_blocks([block])
+                return True
+        if len(g.queues.used):
+            block = self._pop_unlocked(
+                g.queues.used.pop_lru, g.queues.used.restore_lru
+            )
+            if block is not None:
+                self._inflight[block.index] = self.env.event()
+                try:
+                    yield from self._evict_used(g, block)
+                finally:
+                    self._unlock_blocks([block])
+                return True
+        if self._inflight:
+            return False
+        raise OutOfMemoryError(
+            f"{g.name}: nothing evictable; the in-flight working set exceeds "
+            f"device capacity ({g.allocator.capacity_frames} frames)"
+        )
+
+    def _reclaim_discarded(self, g: _GpuState, block: VaBlock) -> Generator:
+        """Reclaim a discarded block's frame without any transfer (§5.3/§5.6)."""
+        cost = 0.0
+        if g.page_table.is_mapped(block.index):
+            # Lazy discard left the mapping in place; destroy it now
+            # (§5.6).  The eviction process batches its TLB shootdowns,
+            # so only the PTE clear is charged per block here.
+            cost += g.page_table.unmap_block(block.index, invalidate_tlb=False)
+        if block.written_since_discard:
+            # The program re-purposed the region without the mandatory
+            # prefetch: its new values are lost (§5.2 misuse).
+            self.counters.bump(Counters.LAZY_MISUSES)
+            self.oracle.record_data_loss(
+                self.env.now,
+                block,
+                "lazy-discarded block reclaimed after an unnotified write",
+            )
+            if self.config.strict_lazy:
+                raise DiscardSemanticsError(
+                    f"block {block.index} re-purposed after UvmDiscardLazy "
+                    "without the mandatory prefetch notification"
+                )
+        frame = block.frame
+        block.frame = None
+        block.residency = None
+        block.populated = False
+        if frame is not None:
+            g.allocator.free(frame)
+        self.counters.bump(Counters.EVICTED_DISCARDED_BLOCKS)
+        self.log.log(self.env.now, "evict", f"reclaimed discarded block {block.index}")
+        if cost:
+            yield self.env.timeout(cost)
+
+    def _evict_used(self, g: _GpuState, block: VaBlock) -> Generator:
+        """Swap the LRU used block out to host memory (a real transfer)."""
+        cost = g.page_table.unmap_block(block.index)
+        if block.transfer_needed_for_eviction:
+            yield self.env.timeout(cost)
+            yield from self.migration.transfer_blocks(
+                [block], TransferDirection.DEVICE_TO_HOST,
+                TransferReason.EVICTION, g.engines,
+            )
+            block.residency = CPU
+            yield self.env.timeout(self._ensure_cpu_mapped(block))
+        else:
+            block.residency = None
+            yield self.env.timeout(cost)
+        frame = block.frame
+        block.frame = None
+        if frame is not None:
+            g.allocator.free(frame)
+        self.counters.bump(Counters.EVICTED_BLOCKS)
+        self.log.log(self.env.now, "evict", f"swapped out block {block.index}")
+
+    # ------------------------------------------------------------------
+    # mapping helpers
+    # ------------------------------------------------------------------
+
+    def _ensure_cpu_mapped(self, block: VaBlock) -> float:
+        if self.cpu_page_table.is_mapped(block.index):
+            return 0.0
+        return self.cpu_page_table.map_block(block.index)
+
+    def _ensure_cpu_unmapped(self, block: VaBlock) -> float:
+        if not self.cpu_page_table.is_mapped(block.index):
+            return 0.0
+        return self.cpu_page_table.unmap_block(block.index)
+
+    def _touch_used(self, g: _GpuState, block: VaBlock) -> None:
+        """Insert/refresh ``block`` in the used queue per eviction policy.
+
+        The paper's driver uses a pseudo-LRU queue (§5.5); the "fifo"
+        ablation keeps insertion order, never refreshing recency.
+        """
+        if self.config.eviction_policy == "fifo" and block in g.queues.used:
+            return
+        g.queues.used.touch(block)
+
+    # ------------------------------------------------------------------
+    # per-block residency locking
+    # ------------------------------------------------------------------
+
+    def _lock_blocks(self, blocks: Sequence[VaBlock]) -> Generator:
+        """Wait until no residency operation is in flight on ``blocks``,
+        then claim them.  Must be paired with :meth:`_unlock_blocks`."""
+        while True:
+            waiting = {
+                self._inflight[b.index]
+                for b in blocks
+                if b.index in self._inflight
+            }
+            if not waiting:
+                break
+            for event in waiting:
+                yield event
+        for block in blocks:
+            self._inflight[block.index] = self.env.event()
+
+    def _unlock_blocks(self, blocks: Sequence[VaBlock]) -> None:
+        for block in blocks:
+            event = self._inflight.pop(block.index, None)
+            if event is not None:
+                event.succeed()  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # making blocks resident on a GPU (faults and prefetch share this)
+    # ------------------------------------------------------------------
+
+    def _plan_for(self, g: _GpuState, block: VaBlock) -> Optional[_Plan]:
+        """Classify what bringing ``block`` to ``g`` requires."""
+        if block.residency == g.name:
+            if not block.discarded:
+                return None  # already resident and live: recency update only
+            if block.discard_kind is DiscardKind.EAGER:
+                return _Plan.REVIVE_EAGER
+            return _Plan.REVIVE_LAZY
+        if block.populated and not block.discarded:
+            if block.on_cpu:
+                return _Plan.MIGRATE
+            if block.on_gpu:
+                return _Plan.MIGRATE_PEER
+        # Never populated, discarded, or reclaimed: zero-fill fresh memory.
+        # This is the H2D transfer the discard directive saves (§5.3).
+        return _Plan.ZERO
+
+    def _detach_gpu_residency(self, block: VaBlock) -> float:
+        """Drop ``block``'s current GPU residency without any transfer.
+
+        Used when a block that is (dead) on one GPU is re-homed to the
+        CPU or a peer: unmaps, forgets queue membership and frees the
+        frame.  Returns the accumulated time cost.
+        """
+        if not block.on_gpu:
+            return 0.0
+        peer = self._gpu(block.residency)  # type: ignore[arg-type]
+        peer.queues.forget(block)
+        cost = 0.0
+        if peer.page_table.is_mapped(block.index):
+            cost += peer.page_table.unmap_block(block.index)
+        frame = block.frame
+        block.frame = None
+        block.residency = None
+        if frame is not None:
+            peer.allocator.free(frame)
+        return cost
+
+    def make_resident_gpu(
+        self,
+        gpu: str,
+        blocks: Sequence[VaBlock],
+        reason: TransferReason,
+        via_prefetch: bool,
+    ) -> Generator:
+        """Bring ``blocks`` to GPU residency, evicting/zeroing/migrating.
+
+        Serialized per block against concurrent residency operations from
+        other streams (prefetch racing a fault on the same window).
+
+        Operations larger than the device are processed in chunks — the
+        real driver walks a prefetch range va_block by va_block, so a
+        single `cudaMemPrefetchAsync` of an oversubscribing range streams
+        through the GPU rather than deadlocking against itself.
+        """
+        blocks = list(blocks)
+        limit = max(1, self._gpu(gpu).allocator.capacity_frames - 1)
+        if len(blocks) > limit:
+            for start in range(0, len(blocks), limit):
+                yield from self.make_resident_gpu(
+                    gpu, blocks[start : start + limit], reason, via_prefetch
+                )
+            return
+        yield from self._lock_blocks(blocks)
+        try:
+            yield from self._make_resident_gpu_locked(
+                gpu, blocks, reason, via_prefetch
+            )
+        finally:
+            self._unlock_blocks(blocks)
+
+    def _make_resident_gpu_locked(
+        self,
+        gpu: str,
+        blocks: Sequence[VaBlock],
+        reason: TransferReason,
+        via_prefetch: bool,
+    ) -> Generator:
+        g = self._gpu(gpu)
+        recency_only = 0
+        revive_cost = 0.0
+        zero_blocks: List[VaBlock] = []
+        migrate_blocks: List[VaBlock] = []
+        peer_blocks: List[VaBlock] = []
+        for block in blocks:
+            plan = self._plan_for(g, block)
+            if plan is None:
+                self._touch_used(g, block)
+                recency_only += 1
+            elif plan is _Plan.REVIVE_EAGER:
+                g.queues.discarded.remove(block)
+                revive_cost += g.page_table.map_block(block.index)
+                frame = block.frame
+                if frame is not None and not frame.prepared:
+                    # §5.7: discarded pages cannot be assumed prepared.
+                    revive_cost += g.zero_model.block_zero_time()
+                    frame.prepared = True
+                    self.counters.bump(Counters.ZEROED_BLOCKS)
+                block.revive()
+                block.populated = True
+                self._touch_used(g, block)
+                self.counters.bump(Counters.DISCARD_REVIVALS)
+            elif plan is _Plan.REVIVE_LAZY:
+                g.queues.discarded.remove(block)
+                revive_cost += self.config.lazy_dirty_clear_per_block
+                block.revive()
+                block.populated = True
+                self._touch_used(g, block)
+                self.counters.bump(Counters.DISCARD_REVIVALS)
+            elif plan is _Plan.ZERO:
+                # A dead block on a peer GPU is reclaimed there first.
+                revive_cost += self._detach_gpu_residency(block)
+                zero_blocks.append(block)
+            elif plan is _Plan.MIGRATE_PEER:
+                peer_blocks.append(block)
+            else:
+                migrate_blocks.append(block)
+        if via_prefetch and recency_only:
+            # §7.5.1: prefetches of already-resident data still walk the
+            # range and refresh recency — pure overhead.
+            self.counters.bump(Counters.PREFETCH_RECENCY_ONLY, recency_only)
+            yield self.env.timeout(
+                recency_only * self.config.recency_update_per_block
+            )
+        if revive_cost:
+            yield self.env.timeout(revive_cost)
+
+        # Acquire frames for everything that needs fresh physical memory.
+        # In-flight blocks are in no queue yet, so eviction cannot steal
+        # them out from under this batch.
+        own_indices = frozenset(b.index for b in blocks)
+        for block in zero_blocks + migrate_blocks:
+            frame = yield from self._acquire_frame(g, own_indices)
+            block.frame = frame
+
+        if zero_blocks:
+            cost = 0.0
+            for block in zero_blocks:
+                cost += self._ensure_cpu_unmapped(block)
+                cost += g.zero_model.zero_time(block.used_bytes)
+                cost += g.page_table.map_block(block.index)
+                block.frame.prepared = True  # type: ignore[union-attr]
+                block.residency = g.name
+                was_discarded = block.discarded
+                block.revive()
+                block.populated = True
+                self._touch_used(g, block)
+                self.counters.bump(Counters.ZEROED_BLOCKS)
+                if was_discarded:
+                    self.log.log(
+                        self.env.now, "zero",
+                        f"skipped H2D transfer for discarded block {block.index}",
+                    )
+            yield self.env.timeout(cost)
+
+        if migrate_blocks:
+            cost = 0.0
+            for block in migrate_blocks:
+                cost += self._ensure_cpu_unmapped(block)
+                cost += g.page_table.map_block(block.index)
+            yield self.env.timeout(cost)
+            yield from self.migration.transfer_blocks(
+                migrate_blocks,
+                TransferDirection.HOST_TO_DEVICE,
+                reason,
+                g.engines,
+            )
+            for block in migrate_blocks:
+                block.frame.prepared = True  # type: ignore[union-attr]
+                block.residency = g.name
+                self._touch_used(g, block)
+
+        if peer_blocks:
+            yield from self._migrate_from_peers(g, peer_blocks, reason, own_indices)
+
+    def _migrate_from_peers(
+        self,
+        g: _GpuState,
+        peer_blocks: Sequence[VaBlock],
+        reason: TransferReason,
+        own_indices,
+    ) -> Generator:
+        """Move live blocks from other GPUs to ``g`` (D2D migration).
+
+        With a peer link (NVLink/NVSwitch, §2.3) the data moves in one
+        D2D hop occupying both GPUs' copy engines; without one it
+        bounces through host memory — two transfers over the host link,
+        both of which the traffic recorder sees (as on real PCIe systems
+        without P2P).
+        """
+        by_source: Dict[str, List[VaBlock]] = {}
+        for block in peer_blocks:
+            by_source.setdefault(block.residency, []).append(block)  # type: ignore[arg-type]
+        for source_name, group in by_source.items():
+            source = self._gpu(source_name)
+            cost = 0.0
+            for block in group:
+                source.queues.forget(block)
+                if source.page_table.is_mapped(block.index):
+                    cost += source.page_table.unmap_block(block.index)
+            if cost:
+                yield self.env.timeout(cost)
+            # Destination frames (may evict on the destination GPU).
+            for block in group:
+                source_frame = block.frame
+                block.frame = None
+                new_frame = yield from self._acquire_frame(g, own_indices)
+                if self.p2p_link is not None:
+                    yield from self.migration.transfer_blocks_peer(
+                        [block], self.p2p_link, source.engines, g.engines
+                    )
+                else:
+                    yield from self.migration.transfer_blocks(
+                        [block],
+                        TransferDirection.DEVICE_TO_HOST,
+                        reason,
+                        source.engines,
+                    )
+                    yield from self.migration.transfer_blocks(
+                        [block],
+                        TransferDirection.HOST_TO_DEVICE,
+                        reason,
+                        g.engines,
+                    )
+                source.allocator.free(source_frame)
+                block.frame = new_frame
+                new_frame.prepared = True
+                block.residency = g.name
+                map_cost = g.page_table.map_block(block.index)
+                yield self.env.timeout(map_cost)
+                self._touch_used(g, block)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+
+    def handle_gpu_faults(
+        self,
+        gpu: str,
+        blocks: Sequence[VaBlock],
+        reason: TransferReason = TransferReason.FAULT_MIGRATION,
+    ) -> Generator:
+        """Service one batch of replayable GPU faults."""
+        blocks = list(blocks)
+        if not blocks:
+            return
+        self.counters.bump(Counters.GPU_FAULT_BATCHES)
+        self.counters.bump(Counters.GPU_FAULTED_BLOCKS, len(blocks))
+        yield self.env.timeout(
+            self.config.fault_batch_overhead
+            + len(blocks) * self.config.fault_per_block
+        )
+        if self.config.auto_prefetch_enabled:
+            self._maybe_auto_prefetch(gpu, blocks)
+        yield from self.make_resident_gpu(gpu, blocks, reason, via_prefetch=False)
+
+    def _maybe_auto_prefetch(self, gpu: str, faulted: Sequence[VaBlock]) -> None:
+        """Stream detection + prefetch-ahead (extension, [21, 22]).
+
+        If the fault batch continues an ascending contiguous run of block
+        indices, the faulting buffer is being streamed; kick off a
+        background prefetch of the next blocks so the following waves hit
+        resident memory.  Runs as a separate process: it overlaps the
+        fault service it was triggered by.
+        """
+        indices = sorted(b.index for b in faulted)
+        contiguous = all(b - a == 1 for a, b in zip(indices, indices[1:]))
+        state = self._stream_state.setdefault(gpu, {"next": -1, "streak": 0})
+        if contiguous and indices[0] == state["next"]:
+            state["streak"] += len(indices)
+        elif contiguous:
+            state["streak"] = len(indices)
+        else:
+            state["streak"] = 0
+        state["next"] = indices[-1] + 1
+        if state["streak"] < self.config.auto_prefetch_trigger:
+            return
+        buffer = faulted[-1].buffer
+        if buffer is None:
+            return
+        ahead = [
+            b
+            for b in buffer.blocks
+            if indices[-1] < b.index <= indices[-1] + self.config.auto_prefetch_depth
+            and b.residency != gpu
+        ]
+        if not ahead:
+            return
+        self.counters.bump(Counters.AUTO_PREFETCHED_BLOCKS, len(ahead))
+        self.env.process(
+            self.make_resident_gpu(
+                gpu, ahead, TransferReason.PREFETCH, via_prefetch=True
+            )
+        )
+
+    def gpu_needs_fault(self, gpu: str, block: VaBlock) -> bool:
+        """Whether a GPU access to ``block`` would fault right now.
+
+        Faults occur when the GPU has no valid mapping — either the block
+        is remote, or `UvmDiscard` eagerly destroyed the mapping (§5.1).
+        A lazily-discarded resident block is still mapped, so accesses
+        sail through without the driver noticing (the §5.2 hazard).
+        """
+        g = self._gpu(gpu)
+        return not g.page_table.is_mapped(block.index)
+
+    # ------------------------------------------------------------------
+    # making blocks resident on the CPU
+    # ------------------------------------------------------------------
+
+    def make_resident_cpu(
+        self,
+        blocks: Sequence[VaBlock],
+        reason: TransferReason,
+        charge_faults: bool,
+    ) -> Generator:
+        """Bring ``blocks`` to host residency (CPU faults or prefetch)."""
+        blocks = list(blocks)
+        yield from self._lock_blocks(blocks)
+        try:
+            yield from self._make_resident_cpu_locked(blocks, reason, charge_faults)
+        finally:
+            self._unlock_blocks(blocks)
+
+    def _make_resident_cpu_locked(
+        self,
+        blocks: Sequence[VaBlock],
+        reason: TransferReason,
+        charge_faults: bool,
+    ) -> Generator:
+        needed = [b for b in blocks if b.residency != CPU]
+        cost = 0.0
+        if charge_faults and needed:
+            cost += len(needed) * self.config.cpu_fault_overhead
+            self.counters.bump(Counters.CPU_FAULTED_BLOCKS, len(needed))
+        migrate_by_gpu: Dict[str, List[VaBlock]] = {}
+        for block in needed:
+            if block.on_gpu:
+                g = self._gpu(block.residency)  # type: ignore[arg-type]
+                g.queues.forget(block)
+                if g.page_table.is_mapped(block.index):
+                    cost += g.page_table.unmap_block(block.index)
+                if block.populated and not block.discarded:
+                    migrate_by_gpu.setdefault(g.name, []).append(block)
+                else:
+                    # Discarded or unpopulated: reclaim with no transfer.
+                    frame = block.frame
+                    block.frame = None
+                    if frame is not None:
+                        g.allocator.free(frame)
+                    block.residency = CPU
+                    if block.discarded:
+                        block.revive()
+                    block.populated = False
+                    cost += self._ensure_cpu_mapped(block)
+            else:
+                # First touch on the host: zero-filled CPU pages (Fig. 1 ①).
+                block.residency = CPU
+                if block.discarded:
+                    block.revive()
+                block.populated = False
+                cost += self._ensure_cpu_mapped(block)
+        if cost:
+            yield self.env.timeout(cost)
+        for gpu_name, group in migrate_by_gpu.items():
+            g = self._gpu(gpu_name)
+            yield from self.migration.transfer_blocks(
+                group, TransferDirection.DEVICE_TO_HOST, reason, g.engines
+            )
+            map_cost = 0.0
+            for block in group:
+                frame = block.frame
+                block.frame = None
+                if frame is not None:
+                    g.allocator.free(frame)
+                block.residency = CPU
+                map_cost += self._ensure_cpu_mapped(block)
+            if map_cost:
+                yield self.env.timeout(map_cost)
+
+    # ------------------------------------------------------------------
+    # prefetch (`cudaMemPrefetchAsync`)
+    # ------------------------------------------------------------------
+
+    def prefetch(self, blocks: Sequence[VaBlock], destination: str) -> Generator:
+        """Pre-fault ``blocks`` at ``destination`` (§2.1).
+
+        On a GPU destination this also performs `UvmDiscardLazy`'s
+        mandatory dirty-bit notification (§5.2) via the lazy-revival path
+        in :meth:`make_resident_gpu`.
+        """
+        blocks = list(blocks)
+        if not blocks:
+            return
+        yield self.env.timeout(
+            self.config.prefetch_command_overhead
+            + len(blocks) * self.config.prefetch_per_block
+        )
+        self.counters.bump(Counters.PREFETCHED_BLOCKS, len(blocks))
+        if destination == CPU:
+            yield from self.make_resident_cpu(
+                blocks, TransferReason.PREFETCH, charge_faults=False
+            )
+        else:
+            yield from self.make_resident_gpu(
+                destination, blocks, TransferReason.PREFETCH, via_prefetch=True
+            )
+
+    # ------------------------------------------------------------------
+    # discard state transitions (driven by repro.core managers)
+    # ------------------------------------------------------------------
+
+    def discard_block_eager(self, block: VaBlock) -> float:
+        """Apply `UvmDiscard` to one block; returns the time cost (§5.1).
+
+        Eagerly destroys every mapping so that any re-access faults.  The
+        caller batches blocks and charges one TLB invalidation per GPU per
+        call on top.
+        """
+        cost = 0.0
+        self.rmt.on_discard(block.index)
+        self.oracle.record_discard(self.env.now, block)
+        if block.on_gpu:
+            g = self._gpu(block.residency)  # type: ignore[arg-type]
+            if g.page_table.is_mapped(block.index):
+                cost += g.page_table.unmap_block(block.index, invalidate_tlb=False)
+            if not block.discarded:
+                g.queues.used.remove(block)
+                if self.config.discarded_queue_enabled:
+                    g.queues.discarded.push(block)
+                else:
+                    frame = block.frame
+                    block.frame = None
+                    block.residency = None
+                    if frame is not None:
+                        g.allocator.free(frame)
+        cost += self._ensure_cpu_unmapped(block)
+        block.mark_discarded(DiscardKind.EAGER)
+        if not self.config.discarded_queue_enabled and not block.on_gpu:
+            block.residency = block.residency if block.on_cpu else None
+        self.counters.bump(Counters.DISCARDED_BLOCKS)
+        return cost
+
+    def discard_block_lazy(self, block: VaBlock) -> float:
+        """Apply `UvmDiscardLazy` to one block; returns the time cost (§5.2).
+
+        Clears the software dirty bit without touching any mapping — far
+        cheaper than the eager variant, but the program must prefetch
+        before re-purposing the region.
+        """
+        self.rmt.on_discard(block.index)
+        self.oracle.record_discard(self.env.now, block)
+        if block.on_gpu and not block.discarded:
+            g = self._gpu(block.residency)  # type: ignore[arg-type]
+            g.queues.used.remove(block)
+            if self.config.discarded_queue_enabled:
+                g.queues.discarded.push(block)
+            else:
+                if g.page_table.is_mapped(block.index):
+                    g.page_table.unmap_block(block.index)
+                frame = block.frame
+                block.frame = None
+                block.residency = None
+                if frame is not None:
+                    g.allocator.free(frame)
+        block.mark_discarded(DiscardKind.LAZY)
+        self.counters.bump(Counters.DISCARDED_BLOCKS)
+        return self.config.lazy_dirty_clear_per_block
+
+    # ------------------------------------------------------------------
+    # program-access bookkeeping (RMT + semantics oracle)
+    # ------------------------------------------------------------------
+
+    def note_access(self, block: VaBlock, mode: AccessMode) -> None:
+        """Record a program access for RMT classification and the oracle.
+
+        Must be called after residency is established (post-fault), in
+        program order.
+        """
+        if mode.reads:
+            self.rmt.on_read(block.index)
+            self.oracle.validate_read(self.env.now, block)
+        elif mode is AccessMode.WRITE:
+            self.rmt.on_overwrite(block.index)
+        if mode.writes:
+            block.record_write()
+            self.oracle.record_write(self.env.now, block)
+
+    def finalize(self) -> None:
+        """End-of-run accounting: resolve all still-pending transfers."""
+        self.rmt.finalize()

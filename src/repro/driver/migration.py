@@ -1,0 +1,181 @@
+"""Migration engine: moves va_blocks across the interconnect.
+
+Each GPU has one copy engine per direction (full-duplex DMA, matching
+discrete NVIDIA GPUs).  Contiguous runs of va_blocks are coalesced into a
+single DMA command, which matters because the link's effective bandwidth
+is a strong function of transfer size (§5.4, Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Sequence
+
+from repro.driver.va_block import VaBlock
+from repro.engine.core import Environment
+from repro.engine.resources import Resource
+from repro.instrument.rmt import RmtClassifier
+from repro.instrument.traffic import TrafficRecorder, TransferDirection, TransferReason
+from repro.interconnect.link import Link
+from repro.units import BIG_PAGE, SMALL_PAGE
+
+
+def coalesce_spans(blocks: Iterable[VaBlock]) -> List[List[VaBlock]]:
+    """Group blocks into runs of consecutive block indices.
+
+    The driver migrates each run as one DMA command; a fragmented set of
+    blocks therefore pays the per-command latency once per run.  Split
+    blocks (§5.4 policy disabled) break coalescing: their 4 KiB pages
+    move as separate single-block commands.
+    """
+    ordered = sorted(blocks, key=lambda b: b.index)
+    spans: List[List[VaBlock]] = []
+    for block in ordered:
+        if (
+            spans
+            and spans[-1][-1].index + 1 == block.index
+            and not block.split
+            and not spans[-1][-1].split
+        ):
+            spans[-1].append(block)
+        else:
+            spans.append([block])
+    return spans
+
+
+class CopyEngines:
+    """The two DMA engines (one per direction) of a single GPU."""
+
+    def __init__(self, env: Environment) -> None:
+        self.h2d = Resource(env, capacity=1)
+        self.d2h = Resource(env, capacity=1)
+
+    def engine_for(self, direction: TransferDirection) -> Resource:
+        if direction is TransferDirection.HOST_TO_DEVICE:
+            return self.h2d
+        if direction is TransferDirection.DEVICE_TO_HOST:
+            return self.d2h
+        raise ValueError(f"no copy engine for {direction}")
+
+
+class MigrationEngine:
+    """Executes block transfers over one link, with traffic accounting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: Link,
+        traffic: TrafficRecorder,
+        rmt: RmtClassifier,
+    ) -> None:
+        self.env = env
+        self.link = link
+        self.traffic = traffic
+        self.rmt = rmt
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire time for one coalesced command of ``nbytes``."""
+        return self.link.transfer_time(nbytes, chunk=min(nbytes, BIG_PAGE))
+
+    def transfer_blocks(
+        self,
+        blocks: Sequence[VaBlock],
+        direction: TransferDirection,
+        reason: TransferReason,
+        engines: CopyEngines,
+    ) -> Generator:
+        """Move ``blocks`` across the link as coalesced DMA commands.
+
+        A generator process: occupies the direction's copy engine for the
+        duration of each command, records traffic, and opens an RMT
+        tracking record per block.
+        """
+        if not blocks:
+            return
+        engine = engines.engine_for(direction)
+        for span in coalesce_spans(blocks):
+            span_bytes = sum(b.used_bytes for b in span)
+            # §5.4: a block whose 2 MiB mapping was split moves in 4 KiB
+            # pieces — the higher-cost transfer the alignment policy
+            # exists to avoid.
+            chunk = SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
+            request = engine.request()
+            yield request
+            try:
+                yield self.env.timeout(
+                    self.link.transfer_time(span_bytes, chunk=chunk)
+                )
+            finally:
+                engine.release(request)
+            self.traffic.record(
+                self.env.now,
+                direction,
+                span_bytes,
+                reason,
+                first_block=span[0].index,
+                num_blocks=len(span),
+            )
+            for block in span:
+                self.rmt.on_transfer(block.index, block.used_bytes, direction, reason)
+
+    def transfer_blocks_peer(
+        self,
+        blocks: Sequence[VaBlock],
+        p2p_link: Link,
+        source_engines: CopyEngines,
+        destination_engines: CopyEngines,
+    ) -> Generator:
+        """Direct GPU-to-GPU migration over a peer link (§2.3).
+
+        Occupies the source's outbound and the destination's inbound DMA
+        engine for the duration; one D2D traffic record per coalesced
+        span.
+        """
+        if not blocks:
+            return
+        for span in coalesce_spans(blocks):
+            span_bytes = sum(b.used_bytes for b in span)
+            out_request = source_engines.d2h.request()
+            yield out_request
+            in_request = destination_engines.h2d.request()
+            yield in_request
+            try:
+                yield self.env.timeout(
+                    p2p_link.transfer_time(span_bytes, chunk=BIG_PAGE)
+                )
+            finally:
+                source_engines.d2h.release(out_request)
+                destination_engines.h2d.release(in_request)
+            self.traffic.record(
+                self.env.now,
+                TransferDirection.DEVICE_TO_DEVICE,
+                span_bytes,
+                TransferReason.FAULT_MIGRATION,
+                first_block=span[0].index,
+                num_blocks=len(span),
+            )
+            for block in span:
+                self.rmt.on_transfer(
+                    block.index,
+                    block.used_bytes,
+                    TransferDirection.DEVICE_TO_DEVICE,
+                    TransferReason.FAULT_MIGRATION,
+                )
+
+    def raw_transfer(
+        self,
+        nbytes: int,
+        direction: TransferDirection,
+        reason: TransferReason,
+        engines: CopyEngines,
+    ) -> Generator:
+        """A block-less bulk transfer (explicit memcpy in the baselines)."""
+        if nbytes <= 0:
+            return
+        engine = engines.engine_for(direction)
+        request = engine.request()
+        yield request
+        try:
+            yield self.env.timeout(self.transfer_time(nbytes))
+        finally:
+            engine.release(request)
+        self.traffic.record(self.env.now, direction, nbytes, reason)

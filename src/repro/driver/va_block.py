@@ -1,0 +1,159 @@
+"""The 2 MiB va_block — the driver's unit of memory management.
+
+NVIDIA's UVM driver manages managed memory in 2 MiB chunks ("va_blocks");
+allocation, zeroing, mapping, migration, eviction and — in this paper —
+discard all operate at this granularity (§5.4).  A :class:`VaBlock` is the
+simulator's per-chunk state record, carrying residency, discard state, the
+software dirty bit of `UvmDiscardLazy`, and the ground-truth
+``written_since_discard`` flag used to detect lazy misuse.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.memsim.frames import Frame
+from repro.units import BIG_PAGE
+from repro.vm.layout import VaRange
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cuda.memory import ManagedBuffer
+
+#: Residency value for the host.
+CPU = "cpu"
+
+
+class DiscardKind(enum.Enum):
+    """Which implementation discarded the block (§5.1 vs §5.2)."""
+
+    EAGER = "eager"  # UvmDiscard: mappings destroyed eagerly
+    LAZY = "lazy"  # UvmDiscardLazy: software dirty bit cleared
+
+
+class VaBlock:
+    """State of one 2 MiB span of a managed allocation.
+
+    Attributes:
+        index: global block index (virtual address // 2 MiB); unique
+            because distinct allocations never share a block.
+        used_bytes: bytes of the owning allocation inside this block
+            (less than 2 MiB only for an allocation's tail block).
+        buffer: the owning managed buffer.
+        residency: ``None`` if the block has no physical backing anywhere
+            (never touched, or discarded and reclaimed), ``"cpu"``, or a
+            GPU identifier.  UVM maps each page exclusively on one
+            processor (§2.2).
+        frame: the GPU :class:`Frame` backing the block while GPU-resident.
+        populated: whether the block holds live (non-dead) program data.
+            Cleared by discard — the driver may then skip transfers.
+        discarded / discard_kind: discard state (§5).
+        sw_dirty: `UvmDiscardLazy`'s software dirty bit.  ``False`` while
+            lazily discarded; set again only by the mandatory prefetch.
+        written_since_discard: ground truth used by the misuse detector —
+            the program wrote new values after a lazy discard without
+            notifying the driver.
+    """
+
+    __slots__ = (
+        "index",
+        "used_bytes",
+        "buffer",
+        "residency",
+        "frame",
+        "populated",
+        "discarded",
+        "discard_kind",
+        "sw_dirty",
+        "written_since_discard",
+        "version",
+        "split",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        used_bytes: int,
+        buffer: Optional["ManagedBuffer"] = None,
+    ) -> None:
+        if used_bytes <= 0 or used_bytes > BIG_PAGE:
+            raise SimulationError(
+                f"block used_bytes must be in (0, 2 MiB], got {used_bytes}"
+            )
+        self.index = index
+        self.used_bytes = used_bytes
+        self.buffer = buffer
+        self.residency: Optional[str] = None
+        self.frame: Optional[Frame] = None
+        self.populated = False
+        self.discarded = False
+        self.discard_kind: Optional[DiscardKind] = None
+        self.sw_dirty = True
+        self.written_since_discard = False
+        #: Monotone data version; bumped on every write epoch.  Used by the
+        #: semantics oracle to validate reads (§4.1).
+        self.version = 0
+        #: The 2 MiB mapping was split into 4 KiB pages by a partial
+        #: discard with the §5.4 policy disabled; migrations of this
+        #: block move in 4 KiB pieces at far lower link efficiency.
+        self.split = False
+
+    @property
+    def va_range(self) -> VaRange:
+        """The virtual address span this block manages."""
+        return VaRange(self.index * BIG_PAGE, self.used_bytes)
+
+    @property
+    def on_gpu(self) -> bool:
+        return self.residency is not None and self.residency != CPU
+
+    @property
+    def on_cpu(self) -> bool:
+        return self.residency == CPU
+
+    @property
+    def transfer_needed_for_eviction(self) -> bool:
+        """Whether evicting this block off the GPU must move data.
+
+        Discarded blocks (and never-populated ones) can be reclaimed
+        without a transfer — the entire point of the directive (§5.3).
+        """
+        return self.populated and not self.discarded
+
+    def mark_discarded(self, kind: DiscardKind) -> None:
+        """Apply the discard state transition common to both variants."""
+        self.discarded = True
+        self.discard_kind = kind
+        self.populated = False
+        self.written_since_discard = False
+        if kind is DiscardKind.LAZY:
+            self.sw_dirty = False
+
+    def revive(self) -> None:
+        """Leave the discarded state: the block may hold new values again."""
+        self.discarded = False
+        self.discard_kind = None
+        self.sw_dirty = True
+        self.written_since_discard = False
+
+    def record_write(self) -> None:
+        """Ground-truth bookkeeping for a program write to this block."""
+        self.version += 1
+        self.populated = True
+        if self.discarded:
+            self.written_since_discard = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.populated:
+            flags.append("pop")
+        if self.discarded:
+            flags.append(f"disc:{self.discard_kind.value}")  # type: ignore[union-attr]
+        if not self.sw_dirty:
+            flags.append("clean")
+        name = self.buffer.name if self.buffer is not None else "?"
+        return (
+            f"<VaBlock #{self.index} buf={name} res={self.residency} "
+            f"{' '.join(flags)}>"
+        )

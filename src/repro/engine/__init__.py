@@ -1,0 +1,28 @@
+"""Discrete-event simulation engine.
+
+A minimal, dependency-free process-based simulation kernel in the style of
+SimPy.  Simulation *processes* are Python generators that ``yield``
+awaitable primitives:
+
+- :class:`~repro.engine.core.Timeout` — advance the virtual clock,
+- :class:`~repro.engine.core.Event` — wait until another process triggers,
+- :class:`~repro.engine.core.Process` — wait for a child process to finish,
+- :class:`~repro.engine.resources.Request` — acquire a FIFO resource slot.
+
+The engine drives everything from a single binary heap of scheduled events,
+so runs are fully deterministic: identical inputs produce identical traces,
+which the test suite relies on heavily.
+"""
+
+from repro.engine.core import Environment, Event, Interrupt, Process, Timeout
+from repro.engine.resources import Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Store",
+]

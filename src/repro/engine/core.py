@@ -1,0 +1,296 @@
+"""Core of the discrete-event engine: environment, events, processes.
+
+The design follows the classic event-loop pattern: an
+:class:`Environment` owns a heap of ``(time, sequence, event)`` triples.
+Running the simulation pops events in time order and, for each, resumes the
+generator-based processes waiting on it.  The ``sequence`` counter breaks
+ties deterministically (FIFO among simultaneous events).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    schedules it for processing, after which every waiting process is
+    resumed with the event's value (or has the exception thrown into it).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled for processing."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None  # type: ignore[return-value]
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value read before the event fired")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (no exception)."""
+        return self._scheduled and self._exception is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, waking waiters with ``value``."""
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._scheduled = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception, which propagates to waiters."""
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._exception = exception
+        self._value = exception
+        self._scheduled = True
+        self.env._schedule(self)
+        return self
+
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None  # type: ignore[assignment]
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._scheduled = True
+        env._schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an :class:`Event` that fires when the generator
+    returns, carrying the generator's return value; this is what makes
+    ``yield env.process(child())`` work for fork/join composition.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process needs a generator, got {generator!r}")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current simulation time.
+        initial = Event(env)
+        initial._value = None
+        initial._scheduled = True
+        initial.callbacks.append(self._resume)
+        env._schedule(initial)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._scheduled:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            # Detach from whatever the process was waiting on, so the
+            # original event cannot resume the process a second time.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interruption = Event(self.env)
+        interruption._value = Interrupt(cause)
+        interruption._exception = Interrupt(cause)
+        interruption._scheduled = True
+        interruption.callbacks.append(self._resume)
+        self.env._schedule(interruption)
+
+    # Used as an event callback, hence the event-shaped signature.
+    def __call__(self, event: Event) -> None:
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self._value = getattr(stop, "value", None)
+            self._scheduled = True
+            self.env._schedule(self)
+            return
+        except Interrupt:
+            # An uncaught interrupt terminates the process quietly.
+            self._value = None
+            self._scheduled = True
+            self.env._schedule(self)
+            return
+        except Exception as exc:
+            if not self.callbacks:
+                raise
+            self._exception = exc
+            self._value = exc
+            self._scheduled = True
+            self.env._schedule(self)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event instances"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately via a proxy event.
+            proxy = Event(self.env)
+            proxy._value = target._value
+            proxy._exception = target._exception
+            proxy._scheduled = True
+            proxy.callbacks.append(self._resume)
+            self.env._schedule(proxy)
+        else:
+            target.callbacks.append(self._resume)
+        self._target = target
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            if child.callbacks is None:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._scheduled:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class Environment:
+    """The simulation environment: virtual clock plus the event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError(f"time went backwards: {time} < {self._now}")
+        self._now = time
+        event._process_callbacks()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain everything), a number (absolute
+        simulation time), or an :class:`Event` whose firing stops the run
+        and whose value is returned.
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation starved before the awaited event fired"
+                    )
+                self.step()
+            if sentinel._exception is not None:
+                raise sentinel._exception
+            return sentinel._value
+        deadline = float(until) if until is not None else None
+        while self._heap:
+            next_time = self._heap[0][0]
+            if deadline is not None and next_time > deadline:
+                self._now = deadline
+                return None
+            self.step()
+        if deadline is not None and deadline > self._now:
+            self._now = deadline
+        return None

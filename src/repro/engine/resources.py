@@ -1,0 +1,129 @@
+"""Shared resources for the discrete-event engine.
+
+:class:`Resource` models a pool of identical slots acquired in FIFO order;
+the simulator uses one for each GPU's SM engine (kernel serialization) and
+one per copy-engine direction (transfer serialization).  :class:`Store`
+is an unbounded FIFO of items used for work queues between processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.engine.core import Environment, Event
+from repro.errors import SimulationError
+
+
+class Request(Event):
+    """A pending acquisition of one resource slot.
+
+    Fires when the slot is granted.  Must be released via
+    :meth:`Resource.release` (or used through :meth:`Resource.acquire`).
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._queue: Deque[Request] = deque()
+        self._users: List[Request] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Create a request for one slot; yields when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot to the pool."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("release() of a slot that was never granted")
+        self._grant_waiters()
+
+    def acquire(self, holder: Generator) -> Generator:
+        """Run ``holder`` (a generator) while holding one slot.
+
+        Convenience wrapper encapsulating request/try/finally-release::
+
+            yield from resource.acquire(self._do_transfer(...))
+        """
+        request = self.request()
+        yield request
+        try:
+            result = yield self.env.process(holder)
+        finally:
+            self.release(request)
+        return result
+
+    def _enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+        self._grant_waiters()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise SimulationError("cancel() of a request that is not queued")
+
+    def _grant_waiters(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            granted = self._queue.popleft()
+            self._users.append(granted)
+            granted.succeed(granted)
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    oldest item, blocking the caller until one is available.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event firing with the next item (immediately if available)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

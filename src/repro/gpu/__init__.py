@@ -1,0 +1,24 @@
+"""GPU execution model.
+
+:mod:`repro.gpu.access` defines how kernels walk their buffers (the
+access patterns that determine fault order and thrashing behaviour);
+:mod:`repro.gpu.executor` runs kernel specifications against the UVM
+driver — batching faults, stalling on migrations and consuming compute
+time on the device's SM engine.
+"""
+
+from repro.gpu.access import (
+    AccessPattern,
+    IrregularPattern,
+    SequentialPattern,
+    StridedPattern,
+)
+from repro.gpu.executor import GpuExecutor
+
+__all__ = [
+    "AccessPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "IrregularPattern",
+    "GpuExecutor",
+]

@@ -1,0 +1,22 @@
+"""Experiment harness.
+
+Shared machinery for the paper's evaluation methodology (§7.1): the
+idle-occupant oversubscription setup, the three compared systems
+(UVM-opt / UvmDiscard / UvmDiscardLazy), result records and the text
+tables the benchmarks print.
+"""
+
+from repro.harness.oversubscribe import apply_oversubscription, occupant_bytes
+from repro.harness.results import ExperimentResult, ResultTable
+from repro.harness.systems import DiscardPolicy, System
+from repro.harness.validation import check_driver_invariants
+
+__all__ = [
+    "apply_oversubscription",
+    "occupant_bytes",
+    "ExperimentResult",
+    "ResultTable",
+    "System",
+    "DiscardPolicy",
+    "check_driver_invariants",
+]

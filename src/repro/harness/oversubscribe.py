@@ -1,0 +1,50 @@
+"""GPU memory oversubscription setup (§7.1).
+
+"For the micro-benchmarks and GPU database application, we fix the input
+sizes of the applications and run an idle GPU program that occupies
+specific amounts of GPU memory to create oversubscription ratios of
+<100%, 200%, 300% and 400%.  The oversubscription ratio is the ratio of
+the GPU memory consumption of the application to the available GPU
+memory."
+
+The occupant is modelled as a permanent reservation of GPU frames.
+"""
+
+from __future__ import annotations
+
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import ConfigurationError
+from repro.units import BIG_PAGE, align_down
+
+
+def occupant_bytes(gpu_memory: int, app_bytes: int, ratio: float) -> int:
+    """Bytes the idle occupant must pin for the requested ratio.
+
+    ``ratio <= 1`` means "fits" (the paper's "<100%" column): no occupant.
+    Otherwise available memory is set to ``app_bytes / ratio``.
+    """
+    if ratio <= 0:
+        raise ConfigurationError(f"oversubscription ratio must be positive: {ratio}")
+    if app_bytes <= 0:
+        raise ConfigurationError(f"application footprint must be positive: {app_bytes}")
+    if ratio <= 1.0:
+        return 0
+    available = int(app_bytes / ratio)
+    occupant = gpu_memory - available
+    if occupant <= 0:
+        raise ConfigurationError(
+            f"cannot reach {ratio:.0%} oversubscription: the application "
+            f"({app_bytes} B) already exceeds GPU memory ({gpu_memory} B) "
+            "by more than the requested ratio"
+        )
+    return align_down(occupant, BIG_PAGE)
+
+
+def apply_oversubscription(
+    runtime: CudaRuntime, app_bytes: int, ratio: float
+) -> int:
+    """Reserve the occupant's memory on the runtime's GPU; returns bytes."""
+    nbytes = occupant_bytes(runtime.gpu.memory_bytes, app_bytes, ratio)
+    if nbytes:
+        runtime.driver.reserve_gpu_memory(runtime.gpu.name, nbytes)
+    return nbytes

@@ -1,0 +1,43 @@
+"""One-call experiment runner shared by benchmarks and tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cuda.device import GpuSpec, HostSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
+from repro.harness.oversubscribe import apply_oversubscription
+from repro.harness.results import ExperimentResult
+from repro.interconnect.link import Link
+
+
+def run_uvm_experiment(
+    program: Callable,
+    system: str,
+    config_label: str,
+    app_bytes: int,
+    ratio: float,
+    gpu: GpuSpec,
+    link: Link,
+    host: Optional[HostSpec] = None,
+    driver_config: Optional[UvmDriverConfig] = None,
+    metric: Optional[Callable[[CudaRuntime], float]] = None,
+) -> ExperimentResult:
+    """Run ``program`` under the §7.1 methodology and snapshot the result.
+
+    ``program`` is a host-program generator function taking the runtime;
+    ``ratio`` is the oversubscription ratio (<=1 means "fits").
+    """
+    runtime = CudaRuntime(gpu=gpu, host=host, link=link, driver_config=driver_config)
+    apply_oversubscription(runtime, app_bytes, ratio)
+    runtime.run(program)
+    value = metric(runtime) if metric is not None else None
+    return ExperimentResult.from_runtime(runtime, system, config_label, metric=value)
+
+
+def ratio_label(ratio: float) -> str:
+    """The paper's column label for an oversubscription ratio."""
+    if ratio <= 1.0:
+        return "<100%"
+    return f"{ratio * 100:.0f}%"

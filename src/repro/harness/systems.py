@@ -1,0 +1,55 @@
+"""The three evaluated systems (§7.1).
+
+- **UVM-opt**: UVM with prefetching and API/compute overlap; no discard.
+- **UvmDiscard**: UVM-opt plus eager discard directives.
+- **UvmDiscardLazy**: like UvmDiscard, but every discard that is paired
+  with a later prefetch of the same region uses the lazy implementation;
+  unpaired discards stay eager (§7.1: "...but not all of them").
+
+Workloads consult a :class:`DiscardPolicy` at each potential discard
+site, passing whether that site's region will be re-prefetched before
+reuse; the policy returns which discard mode to issue, or ``None``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class System(enum.Enum):
+    """Which evaluated configuration a run models."""
+
+    NO_UVM = "No-UVM"
+    UVM_OPT = "UVM-opt"
+    UVM_DISCARD = "UvmDiscard"
+    UVM_DISCARD_LAZY = "UvmDiscardLazy"
+
+    @property
+    def uses_uvm(self) -> bool:
+        return self is not System.NO_UVM
+
+    @property
+    def uses_discard(self) -> bool:
+        return self in (System.UVM_DISCARD, System.UVM_DISCARD_LAZY)
+
+
+class DiscardPolicy:
+    """Maps a system to the discard mode used at each call site."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+
+    def mode_for(self, paired_with_prefetch: bool) -> Optional[str]:
+        """Discard mode for a site, or ``None`` when the system discards
+        nothing.
+
+        `UvmDiscardLazy`'s mandatory-prefetch contract (§5.2) means only
+        prefetch-paired sites may go lazy; the rest remain eager even in
+        the lazy system.
+        """
+        if not self.system.uses_discard:
+            return None
+        if self.system is System.UVM_DISCARD_LAZY and paired_with_prefetch:
+            return "lazy"
+        return "eager"

@@ -1,0 +1,69 @@
+"""Driver-state invariant checking.
+
+The structural invariants that define a well-formed UVM driver state,
+available as a library function so applications (and the property-based
+tests) can assert them at any quiescent point::
+
+    check_driver_invariants(runtime.driver)
+
+Raises :class:`~repro.errors.SimulationError` with a description of the
+first violated invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.driver.driver import UvmDriver
+from repro.errors import SimulationError
+
+
+def check_driver_invariants(driver: UvmDriver) -> None:
+    """Validate frame conservation, residency exclusivity and queues."""
+    problems: List[str] = []
+    for name in driver.gpu_names():
+        state = driver._gpu(name)
+        queues = state.queues
+        queued = queues.resident_blocks() + len(queues.unused)
+        if queued != state.allocator.used_frames:
+            problems.append(
+                f"{name}: {queued} frames reachable via queues but the "
+                f"allocator has {state.allocator.used_frames} in use"
+            )
+        if not 0 <= state.allocator.free_frames <= state.allocator.capacity_frames:
+            problems.append(f"{name}: free-frame count out of range")
+    for index, block in driver._blocks.items():
+        if block.on_gpu:
+            gpu = driver._gpu(block.residency)  # type: ignore[arg-type]
+            in_used = block in gpu.queues.used
+            in_discarded = block in gpu.queues.discarded
+            if in_used == in_discarded:
+                problems.append(
+                    f"block {index}: GPU-resident but in "
+                    f"{'both queues' if in_used else 'no queue'}"
+                )
+            if block.frame is None or not block.frame.allocated:
+                problems.append(f"block {index}: GPU-resident without a frame")
+            if in_discarded != block.discarded:
+                problems.append(
+                    f"block {index}: queue membership disagrees with its "
+                    "discard flag"
+                )
+            if driver.cpu_page_table.is_mapped(index):
+                problems.append(
+                    f"block {index}: mapped on the CPU while GPU-resident "
+                    "(residency must be exclusive, §2.2)"
+                )
+        else:
+            if block.frame is not None:
+                problems.append(f"block {index}: holds a frame while not on a GPU")
+            for name in driver.gpu_names():
+                if driver.gpu_page_table(name).is_mapped(index):
+                    problems.append(
+                        f"block {index}: mapped on {name} but resident on "
+                        f"{block.residency}"
+                    )
+    if problems:
+        raise SimulationError(
+            "driver invariants violated:\n  " + "\n  ".join(problems)
+        )

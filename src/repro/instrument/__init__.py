@@ -1,0 +1,28 @@
+"""Driver-level instrumentation.
+
+The paper's evaluation is built on instrumentation inside the UVM driver:
+PCIe traffic counters per direction (Tables 4/6/8, Figures 3/5), fault and
+mapping counters, and the redundant-memory-transfer characterization of
+Figure 3.  This package is the simulated equivalent: every migration,
+eviction and prefetch flows through a :class:`TrafficRecorder`, and the
+:class:`RmtClassifier` resolves each transfer to *useful* or *redundant*
+based on what the program subsequently does with the moved data.
+"""
+
+from repro.instrument.counters import Counters
+from repro.instrument.eventlog import EventLog
+from repro.instrument.rmt import RmtClassifier, TransferFate
+from repro.instrument.timeline import Span, Timeline
+from repro.instrument.traffic import TrafficRecorder, TransferReason, TransferRecord
+
+__all__ = [
+    "Counters",
+    "EventLog",
+    "RmtClassifier",
+    "TransferFate",
+    "Span",
+    "Timeline",
+    "TrafficRecorder",
+    "TransferReason",
+    "TransferRecord",
+]

@@ -1,0 +1,55 @@
+"""Generic named event counters.
+
+A thin dictionary wrapper used by the driver and executor to count faults,
+evictions, zero-fills, discard revivals and similar discrete events without
+each subsystem defining its own counter plumbing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """Monotonic named counters with dict-like read access."""
+
+    # Well-known counter names used across the driver, kept here so tests
+    # and reports reference a single spelling.
+    GPU_FAULT_BATCHES = "gpu_fault_batches"
+    GPU_FAULTED_BLOCKS = "gpu_faulted_blocks"
+    CPU_FAULTED_BLOCKS = "cpu_faulted_blocks"
+    EVICTED_BLOCKS = "evicted_blocks"
+    EVICTED_DISCARDED_BLOCKS = "evicted_discarded_blocks"
+    EVICTED_UNUSED_FRAMES = "evicted_unused_frames"
+    ZEROED_BLOCKS = "zeroed_blocks"
+    DISCARDED_BLOCKS = "discarded_blocks"
+    DISCARD_REVIVALS = "discard_revivals"
+    PREFETCHED_BLOCKS = "prefetched_blocks"
+    PREFETCH_RECENCY_ONLY = "prefetch_recency_only"
+    AUTO_PREFETCHED_BLOCKS = "auto_prefetched_blocks"
+    LAZY_MISUSES = "lazy_misuses"
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; got bump({name}, {amount})")
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()

@@ -1,0 +1,54 @@
+"""Bounded simulation event log.
+
+An optional, human-readable trace of driver decisions (faults, evictions,
+discards, migrations) used by tests asserting ordering properties and by
+anyone debugging a workload.  Bounded so that long benchmark runs cannot
+accumulate unbounded memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    time: float
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e6:12.2f}us] {self.category:<10} {self.message}"
+
+
+class EventLog:
+    """Fixed-capacity FIFO of :class:`LogEntry` records."""
+
+    def __init__(self, capacity: int = 10_000, enabled: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.enabled = enabled
+        self._entries: Deque[LogEntry] = deque(maxlen=capacity)
+
+    def log(self, time: float, category: str, message: str) -> None:
+        """Append an entry if logging is enabled (cheap no-op otherwise)."""
+        if not self.enabled:
+            return
+        self._entries.append(LogEntry(time, category, message))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries(self, category: Optional[str] = None) -> List[LogEntry]:
+        """All retained entries, optionally filtered by category."""
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def clear(self) -> None:
+        self._entries.clear()

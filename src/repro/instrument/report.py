@@ -1,0 +1,99 @@
+"""Experiment report rendering: markdown and CSV.
+
+Turns collections of :class:`~repro.harness.results.ExperimentResult`
+rows into shareable artifacts — the machinery behind EXPERIMENTS.md and
+the CLI's ``reproduce`` command.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, Sequence
+
+from repro.harness.results import ExperimentResult
+
+#: Columns emitted for every result row, in order.
+FIELDS = (
+    "system",
+    "config",
+    "elapsed_seconds",
+    "traffic_gb",
+    "traffic_h2d_gb",
+    "traffic_d2h_gb",
+    "redundant_gb",
+    "useful_gb",
+    "metric",
+)
+
+
+def results_to_csv(results: Iterable[ExperimentResult]) -> str:
+    """Serialize result rows as CSV text (header + one line per row)."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(FIELDS)
+    for result in results:
+        writer.writerow(
+            [getattr(result, field) for field in FIELDS]
+        )
+    return out.getvalue()
+
+
+def _fmt(value, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def results_to_markdown(
+    results: Sequence[ExperimentResult],
+    title: Optional[str] = None,
+    fields: Sequence[str] = ("elapsed_seconds", "traffic_gb", "redundant_gb", "metric"),
+) -> str:
+    """Render result rows as a GitHub-flavoured markdown table."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    header = ["system", "config", *fields]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for result in results:
+        cells = [result.system, result.config]
+        cells.extend(_fmt(getattr(result, field)) for field in fields)
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def speedup_summary(
+    results: Sequence[ExperimentResult], baseline_system: str
+) -> str:
+    """One line per (system, config): speedup and traffic cut vs baseline."""
+    by_config = {}
+    for result in results:
+        by_config.setdefault(result.config, {})[result.system] = result
+    lines: List[str] = []
+    for config, systems in by_config.items():
+        base = systems.get(baseline_system)
+        if base is None:
+            continue
+        for name, result in systems.items():
+            if name == baseline_system:
+                continue
+            speedup = (
+                base.elapsed_seconds / result.elapsed_seconds
+                if result.elapsed_seconds
+                else float("inf")
+            )
+            delta = (
+                result.traffic_gb / base.traffic_gb - 1
+                if base.traffic_gb
+                else 0.0
+            )
+            lines.append(
+                f"{config} {name}: {speedup:.2f}x speedup, "
+                f"{delta:+.0%} traffic vs {baseline_system}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Timeline recording and Chrome-trace export.
+
+Records named spans (kernel executions, DMA transfers, discard calls) on
+virtual-time tracks and exports them in the Chrome trace-event format, so
+a simulated run can be inspected in ``chrome://tracing`` / Perfetto
+exactly like an Nsight timeline: compute vs copy-engine overlap, fault
+stalls, prefetch pipelining.
+
+Enable by attaching a :class:`Timeline` to a runtime::
+
+    runtime = CudaRuntime(...)
+    timeline = Timeline.attach(runtime)
+    runtime.run(program)
+    timeline.write_chrome_trace("run.json")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cuda.runtime import CudaRuntime
+
+#: Track (Chrome "tid") identifiers.
+TRACK_COMPUTE = "compute"
+TRACK_H2D = "copy-h2d"
+TRACK_D2H = "copy-d2h"
+TRACK_HOST = "host"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval on a named track."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+    category: str = "sim"
+    args: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects spans; knows how to hook a runtime's executors/engines."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        end: float,
+        category: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        if end < start:
+            raise ValueError(f"span ends before it starts: {name}")
+        span = Span(track, name, start, end, category, args)
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # runtime attachment (monkey-patch style hooks, opt-in per runtime)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, runtime: "CudaRuntime") -> "Timeline":
+        """Instrument ``runtime`` so kernels and transfers record spans."""
+        timeline = cls()
+        env = runtime.env
+
+        for gpu_name, executor in runtime.executors.items():
+            original_run = executor.run_kernel
+
+            def run_kernel(kernel, _orig=original_run, _gpu=gpu_name):
+                start = env.now
+                result = yield from _orig(kernel)
+                timeline.record(
+                    f"{_gpu}:{TRACK_COMPUTE}",
+                    kernel.name,
+                    start,
+                    env.now,
+                    category="kernel",
+                )
+                return result
+
+            executor.run_kernel = run_kernel  # type: ignore[method-assign]
+
+        migration = runtime.driver.migration
+        original_transfer = migration.transfer_blocks
+
+        def transfer_blocks(blocks, direction, reason, engines, _orig=original_transfer):
+            start = env.now
+            result = yield from _orig(blocks, direction, reason, engines)
+            track = TRACK_H2D if direction.short == "h2d" else TRACK_D2H
+            timeline.record(
+                track,
+                f"{reason.value} x{len(list(blocks))}",
+                start,
+                env.now,
+                category="transfer",
+                args={"direction": direction.short, "reason": reason.value},
+            )
+            return result
+
+        migration.transfer_blocks = transfer_blocks  # type: ignore[method-assign]
+        return timeline
+
+    # ------------------------------------------------------------------
+    # analysis and export
+    # ------------------------------------------------------------------
+
+    def busy_seconds(self, track: str) -> float:
+        """Total occupied time on ``track`` (spans never overlap within a
+        serialized track)."""
+        return sum(s.duration for s in self.spans if s.track == track)
+
+    def overlap_seconds(self, track_a: str, track_b: str) -> float:
+        """Wall-clock during which both tracks were simultaneously busy —
+        the overlap that prefetching buys."""
+        spans_a = sorted(
+            (s.start, s.end) for s in self.spans if s.track == track_a
+        )
+        spans_b = sorted(
+            (s.start, s.end) for s in self.spans if s.track == track_b
+        )
+        total = 0.0
+        i = j = 0
+        while i < len(spans_a) and j < len(spans_b):
+            start = max(spans_a[i][0], spans_b[j][0])
+            end = min(spans_a[i][1], spans_b[j][1])
+            if end > start:
+                total += end - start
+            if spans_a[i][1] <= spans_b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def to_chrome_trace(self) -> List[Dict[str, Any]]:
+        """The trace-event list (microsecond timestamps, 'X' events)."""
+        events: List[Dict[str, Any]] = []
+        for span in self.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 0,
+                    "tid": span.track,
+                    "args": span.args or {},
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write a chrome://tracing-loadable JSON file."""
+        with open(path, "w") as handle:
+            json.dump({"traceEvents": self.to_chrome_trace()}, handle)

@@ -1,0 +1,114 @@
+"""Interconnect traffic accounting.
+
+Every byte that crosses the CPU-GPU link is recorded here with its
+direction and *reason* — fault-driven migration, explicit prefetch,
+capacity eviction, or an explicit memcpy from the No-UVM baselines.  The
+per-reason breakdown is what lets the benchmarks show not just that
+discard reduces traffic (Tables 4/6/8) but *which* traffic it removes
+(evictions of dead data and the re-migrations they cause).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.interconnect.link import TransferDirection
+from repro.units import to_gb
+
+
+class TransferReason(enum.Enum):
+    """Why a transfer crossed the interconnect."""
+
+    FAULT_MIGRATION = "fault"
+    PREFETCH = "prefetch"
+    EVICTION = "eviction"
+    MEMCPY = "memcpy"
+    SWAP = "swap"  # manual swapping by the LMS-style baseline
+    REMOTE_ACCESS = "remote"  # cache-coherent loads/stores (§2.3)
+
+    @property
+    def short(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One DMA command's worth of traffic."""
+
+    time: float
+    direction: TransferDirection
+    nbytes: int
+    reason: TransferReason
+    first_block: Optional[int] = None
+    num_blocks: int = 0
+
+
+class TrafficRecorder:
+    """Accumulates transfer records and per-direction/per-reason totals."""
+
+    def __init__(self, keep_records: bool = False) -> None:
+        self._keep_records = keep_records
+        self.records: List[TransferRecord] = []
+        self._by_direction: Dict[TransferDirection, int] = {
+            d: 0 for d in TransferDirection
+        }
+        self._by_reason: Dict[TransferReason, int] = {r: 0 for r in TransferReason}
+        self.transfer_count = 0
+
+    def record(
+        self,
+        time: float,
+        direction: TransferDirection,
+        nbytes: int,
+        reason: TransferReason,
+        first_block: Optional[int] = None,
+        num_blocks: int = 0,
+    ) -> TransferRecord:
+        """Account one transfer; returns the (possibly unretained) record."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        rec = TransferRecord(time, direction, nbytes, reason, first_block, num_blocks)
+        self._by_direction[direction] += nbytes
+        self._by_reason[reason] += nbytes
+        self.transfer_count += 1
+        if self._keep_records:
+            self.records.append(rec)
+        return rec
+
+    @property
+    def bytes_h2d(self) -> int:
+        return self._by_direction[TransferDirection.HOST_TO_DEVICE]
+
+    @property
+    def bytes_d2h(self) -> int:
+        return self._by_direction[TransferDirection.DEVICE_TO_HOST]
+
+    @property
+    def bytes_d2d(self) -> int:
+        return self._by_direction[TransferDirection.DEVICE_TO_DEVICE]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_h2d + self.bytes_d2h + self.bytes_d2d
+
+    @property
+    def total_gb(self) -> float:
+        """Total traffic in decimal GB — the unit of the paper's tables."""
+        return to_gb(self.total_bytes)
+
+    def bytes_for(self, reason: TransferReason) -> int:
+        return self._by_reason[reason]
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-reason traffic in GB, for reports."""
+        return {r.value: to_gb(n) for r, n in self._by_reason.items() if n}
+
+    def reset(self) -> None:
+        self.records.clear()
+        for d in self._by_direction:
+            self._by_direction[d] = 0
+        for r in self._by_reason:
+            self._by_reason[r] = 0
+        self.transfer_count = 0

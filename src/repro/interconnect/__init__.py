@@ -1,0 +1,21 @@
+"""CPU-GPU interconnect models.
+
+The paper's evaluation (Figure 4) shows that PCIe transfer throughput is a
+strong function of transfer size: small transfers are dominated by
+per-transaction overhead and only large contiguous transfers approach the
+link's peak.  :class:`~repro.interconnect.link.Link` captures this with a
+saturating bandwidth curve; :mod:`~repro.interconnect.pcie` and
+:mod:`~repro.interconnect.nvlink` provide calibrated instances.
+"""
+
+from repro.interconnect.link import Link, TransferDirection
+from repro.interconnect.nvlink import nvlink_gen3
+from repro.interconnect.pcie import pcie_gen3, pcie_gen4
+
+__all__ = [
+    "Link",
+    "TransferDirection",
+    "pcie_gen3",
+    "pcie_gen4",
+    "nvlink_gen3",
+]

@@ -1,0 +1,94 @@
+"""Saturating-bandwidth link model.
+
+Effective bandwidth for a transfer issued in chunks of size ``s`` follows
+
+    B(s) = peak * s / (s + half_size)
+
+a textbook half-saturation curve: at ``s == half_size`` the link achieves
+half its peak, and large chunks asymptotically approach ``peak``.  This
+reproduces the shape of the paper's Figure 4 (`cudaMemPrefetchAsync`
+throughput vs transfer size on PCIe-3/4) with a single calibration
+parameter, and it is why the discard machinery prefers full 2 MiB blocks
+(§5.4): partially discarding a block forces the remainder to move in
+smaller, slower pieces.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.units import BIG_PAGE
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host/device transfer, named after CUDA's memcpy kinds."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+    DEVICE_TO_DEVICE = "d2d"
+
+    @property
+    def short(self) -> str:
+        return self.value
+
+
+class Link:
+    """A bidirectional CPU-GPU interconnect.
+
+    Args:
+        name: human-readable name ("PCIe-4", "NVLink3"...).
+        peak_bandwidth: asymptotic bandwidth in bytes/second (per direction;
+            the model assumes full duplex, which PCIe and NVLink provide).
+        half_size: chunk size in bytes at which half the peak is reached.
+        latency: fixed per-transfer-command latency in seconds (DMA setup,
+            driver work, completion interrupt).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        peak_bandwidth: float,
+        half_size: int = 128 * 1024,
+        latency: float = 8e-6,
+    ) -> None:
+        if peak_bandwidth <= 0:
+            raise ValueError(f"peak bandwidth must be positive: {peak_bandwidth}")
+        if half_size <= 0:
+            raise ValueError(f"half_size must be positive: {half_size}")
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.name = name
+        self.peak_bandwidth = peak_bandwidth
+        self.half_size = half_size
+        self.latency = latency
+
+    def effective_bandwidth(self, chunk: int) -> float:
+        """Sustained bytes/second when transferring in ``chunk``-byte pieces."""
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        return self.peak_bandwidth * chunk / (chunk + self.half_size)
+
+    def transfer_time(self, nbytes: int, chunk: Optional[int] = None) -> float:
+        """Seconds to move ``nbytes`` as one command of ``chunk``-sized pieces.
+
+        ``chunk`` defaults to the full transfer size capped at 2 MiB — the
+        granularity at which the UVM driver coalesces contiguous pages.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        if chunk is None:
+            chunk = min(nbytes, BIG_PAGE) if nbytes < BIG_PAGE else BIG_PAGE
+        return self.latency + nbytes / self.effective_bandwidth(chunk)
+
+    def measured_throughput(self, nbytes: int, chunk: Optional[int] = None) -> float:
+        """End-to-end bytes/second including latency — what Figure 4 plots."""
+        duration = self.transfer_time(nbytes, chunk)
+        if duration == 0.0:
+            return 0.0
+        return nbytes / duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} peak={self.peak_bandwidth / 1e9:.1f}GB/s>"

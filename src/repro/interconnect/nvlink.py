@@ -1,0 +1,29 @@
+"""NVLink preset.
+
+The paper's §2.3 notes that even cache-coherent interconnects such as
+NVLink leave a large local/remote bandwidth gap (GPU local >2 TB/s vs
+25 GB/s GPU-to-CPU over NVLink on POWER9 systems), so page placement and a
+discard directive remain necessary.  This preset exists for the discussion
+benches; every evaluation table in the paper uses PCIe.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.link import Link
+from repro.units import GB, KIB, us
+
+#: CPU<->GPU NVLink 2.0 bandwidth on POWER9-class systems (per direction).
+NVLINK_CPU_GPU_PEAK = 75 * GB
+
+#: NVLink has lower per-transfer latency than PCIe.
+NVLINK_LATENCY = us(3.0)
+
+
+def nvlink_gen3() -> Link:
+    """A POWER9-style CPU-GPU NVLink configuration."""
+    return Link(
+        "NVLink",
+        NVLINK_CPU_GPU_PEAK,
+        half_size=64 * KIB,
+        latency=NVLINK_LATENCY,
+    )

@@ -1,0 +1,35 @@
+"""PCI Express link presets.
+
+Calibrated to the paper's testbed (§7.1): an AMD B550 board whose PCIe-4
+x16 slot is bottlenecked at 25 GB/s by DDR4-3200 host memory, switchable
+to PCIe-3 at roughly half that.  The half-saturation size reproduces the
+knee of Figure 4, where throughput climbs steeply between 64 KiB and a few
+MiB transfers.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.link import Link
+from repro.units import GB, KIB, us
+
+#: Peak host<->device bandwidth on the paper's PCIe-4 testbed (DDR4 bound).
+PCIE4_PEAK = 25 * GB
+
+#: Peak bandwidth with the board switched to PCIe-3.
+PCIE3_PEAK = 12.6 * GB
+
+#: Chunk size reaching half of peak throughput (Figure 4 knee).
+PCIE_HALF_SIZE = 128 * KIB
+
+#: Per-DMA-command latency (driver + DMA setup + completion).
+PCIE_LATENCY = us(8.0)
+
+
+def pcie_gen4() -> Link:
+    """The paper's PCIe-4 configuration (25 GB/s peak)."""
+    return Link("PCIe-4", PCIE4_PEAK, half_size=PCIE_HALF_SIZE, latency=PCIE_LATENCY)
+
+
+def pcie_gen3() -> Link:
+    """The paper's PCIe-3 configuration (~12.6 GB/s peak)."""
+    return Link("PCIe-3", PCIE3_PEAK, half_size=PCIE_HALF_SIZE, latency=PCIE_LATENCY)

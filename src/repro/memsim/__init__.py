@@ -1,0 +1,13 @@
+"""Physical memory substrate.
+
+Models each processor's DRAM as a pool of 2 MiB physical chunks
+(:class:`~repro.memsim.frames.Frame`), matching how NVIDIA's UVM driver
+manages GPU memory (§5.4 of the paper).  The GPU pool is finite and backs
+the oversubscription experiments; the CPU pool is large (64 GiB on the
+paper's testbed) and acts as swap space for evicted GPU pages.
+"""
+
+from repro.memsim.frames import Frame, FrameAllocator
+from repro.memsim.zeroing import ZeroFillModel
+
+__all__ = ["Frame", "FrameAllocator", "ZeroFillModel"]

@@ -1,0 +1,78 @@
+"""Size and time units used throughout the simulator.
+
+The simulator's clock is a ``float`` measured in **seconds**.  Sizes are
+``int`` byte counts.  These helpers exist so that calibration constants in
+the code read like the paper ("25 GB/s", "2 MiB pages", "48 us") instead of
+raw exponents.
+
+Note the deliberate distinction between decimal (GB, used for bandwidth and
+traffic, matching the paper's GB/s figures) and binary (GiB/MiB/KiB, used
+for memory capacities and page sizes, matching how GPUs report memory).
+"""
+
+from __future__ import annotations
+
+# --- binary sizes (capacities, page sizes) ---------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- decimal sizes (traffic, bandwidth denominators) ------------------------
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# --- page sizes (§5.4) ------------------------------------------------------
+SMALL_PAGE = 4 * KIB
+BIG_PAGE = 2 * MIB
+PAGES_PER_BLOCK = BIG_PAGE // SMALL_PAGE  # 512 4-KiB pages per 2-MiB block
+FULL_BLOCK_MASK = (1 << PAGES_PER_BLOCK) - 1
+
+# --- time -------------------------------------------------------------------
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+
+def us(value: float) -> float:
+    """Convert microseconds to simulator seconds."""
+    return value * USEC
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to simulator seconds."""
+    return value * MSEC
+
+
+def to_gb(nbytes: int) -> float:
+    """Express a byte count in decimal gigabytes (the paper's traffic unit)."""
+    return nbytes / GB
+
+
+def to_gib(nbytes: int) -> float:
+    """Express a byte count in binary gibibytes (memory-capacity unit)."""
+    return nbytes / GIB
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    remainder = value % alignment
+    if remainder == 0:
+        return value
+    return value + alignment - remainder
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Whether ``value`` is a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value % alignment == 0

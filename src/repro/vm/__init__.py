@@ -1,0 +1,12 @@
+"""Unified virtual memory substrate.
+
+Provides the unified virtual address space shared by host and devices
+(§2.1), a per-processor page table with 2 MiB / 4 KiB entries, and the cost
+accounting for mapping, unmapping and TLB invalidation that makes the
+eager `UvmDiscard` implementation expensive (§5.1).
+"""
+
+from repro.vm.layout import AddressSpace, VaRange
+from repro.vm.page_table import PageTable, PteState
+
+__all__ = ["AddressSpace", "VaRange", "PageTable", "PteState"]

@@ -1,0 +1,139 @@
+"""Unified virtual address space layout.
+
+A single :class:`AddressSpace` spans host and all devices — the defining
+property of UVM (§2.1: "pointers are valid everywhere").  Managed
+allocations are carved from it as 2 MiB-aligned :class:`VaRange` spans so
+that each allocation decomposes exactly into the driver's 2 MiB va_blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import InvalidAddressError
+from repro.units import BIG_PAGE, align_up
+
+#: Managed allocations start at a recognizable non-zero base, mirroring the
+#: real UVM region of the address space.
+UVM_BASE = 0x10_0000_0000
+
+
+@dataclass(frozen=True)
+class VaRange:
+    """A half-open virtual address range ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise InvalidAddressError(f"negative start address: {self.start:#x}")
+        if self.length < 0:
+            raise InvalidAddressError(f"negative range length: {self.length}")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def __contains__(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def contains_range(self, other: "VaRange") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "VaRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "VaRange") -> "VaRange":
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end <= start:
+            return VaRange(start, 0)
+        return VaRange(start, end - start)
+
+    def subrange(self, offset: int, length: int) -> "VaRange":
+        """The range ``[start+offset, start+offset+length)``; bounds-checked."""
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise InvalidAddressError(
+                f"subrange(offset={offset}, length={length}) outside {self}"
+            )
+        return VaRange(self.start + offset, length)
+
+    def block_span(self) -> Tuple[int, int]:
+        """First and one-past-last 2 MiB block index covered by this range."""
+        if self.length == 0:
+            return (self.start // BIG_PAGE, self.start // BIG_PAGE)
+        first = self.start // BIG_PAGE
+        last = (self.end - 1) // BIG_PAGE + 1
+        return (first, last)
+
+    def blocks(self) -> Iterator[int]:
+        """Iterate the 2 MiB block indices this range touches."""
+        first, last = self.block_span()
+        return iter(range(first, last))
+
+    def full_blocks(self) -> Iterator[int]:
+        """Iterate only the block indices *fully* covered by this range.
+
+        §5.4: "the discard operation prefers full 2 MiB-aligned virtual
+        regions and sometimes ignores partial ones" — this is the filter
+        that implements that preference.
+        """
+        first = align_up(self.start, BIG_PAGE) // BIG_PAGE
+        last = self.end // BIG_PAGE
+        return iter(range(first, last))
+
+    def num_blocks(self) -> int:
+        first, last = self.block_span()
+        return last - first
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VaRange({self.start:#x}, len={self.length:#x})"
+
+
+class AddressSpace:
+    """Bump allocator over the unified virtual address space.
+
+    Virtual address space is effectively unlimited (57-bit on real
+    hardware) so ranges are never recycled; `free` only validates the
+    handle.  Keeping allocation monotone makes every simulated address
+    stable for the lifetime of a run, which the instrumentation exploits.
+    """
+
+    def __init__(self, base: int = UVM_BASE) -> None:
+        self._next = align_up(base, BIG_PAGE)
+        self._live: List[VaRange] = []
+
+    @property
+    def live_ranges(self) -> Tuple[VaRange, ...]:
+        return tuple(self._live)
+
+    def allocate(self, nbytes: int) -> VaRange:
+        """Reserve a 2 MiB-aligned range of at least ``nbytes`` bytes.
+
+        The range's ``length`` is the requested byte count; the *next*
+        allocation is placed at the following 2 MiB boundary so distinct
+        allocations never share a va_block (matching
+        ``cudaMallocManaged``'s alignment behaviour for large buffers).
+        """
+        if nbytes <= 0:
+            raise InvalidAddressError(f"allocation size must be positive: {nbytes}")
+        rng = VaRange(self._next, nbytes)
+        self._next = align_up(rng.end, BIG_PAGE)
+        self._live.append(rng)
+        return rng
+
+    def free(self, rng: VaRange) -> None:
+        """Release a previously allocated range."""
+        try:
+            self._live.remove(rng)
+        except ValueError:
+            raise InvalidAddressError(f"free of unknown range {rng!r}")
+
+    def find(self, address: int) -> VaRange:
+        """The live range containing ``address``."""
+        for rng in self._live:
+            if address in rng:
+                return rng
+        raise InvalidAddressError(f"address {address:#x} is not mapped")

@@ -1,0 +1,36 @@
+"""The paper's evaluation workloads (§7).
+
+- :mod:`~repro.workloads.vector_add` — the Listing 1/2/3 running example,
+  in explicit-copy, UVM and UVM+discard form (functional: computes real
+  sums).
+- :mod:`~repro.workloads.fir` — finite impulse response filter over a
+  sliding input window (§7.2).
+- :mod:`~repro.workloads.radix_sort` — ping-pong radix sort with
+  irregular, thrashing access (§7.3).
+- :mod:`~repro.workloads.hash_join` — GPU database hash-join with large
+  discardable intermediates (§7.4).
+- :mod:`~repro.workloads.dl` — Darknet-style deep learning training:
+  VGG-16, Darknet-19, ResNet-53 and RNN (§7.5).
+"""
+
+from repro.workloads.fir import FirConfig, FirWorkload
+from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
+from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
+from repro.workloads.functional import functional_hash_join, functional_radix_sort
+from repro.workloads.vector_add import (
+    explicit_vector_add,
+    uvm_vector_add,
+)
+
+__all__ = [
+    "FirConfig",
+    "FirWorkload",
+    "HashJoinConfig",
+    "HashJoinWorkload",
+    "RadixSortConfig",
+    "RadixSortWorkload",
+    "explicit_vector_add",
+    "uvm_vector_add",
+    "functional_radix_sort",
+    "functional_hash_join",
+]

@@ -1,0 +1,41 @@
+"""Deep learning training workloads (§7.5, Table 1, Figures 3/5/6/7).
+
+The paper converts Darknet to the UVM programming model and trains four
+networks — VGG-16, Darknet-19, ResNet-53 and a character RNN — inserting
+discard directives for the buffers that die during back-propagation
+(Listing 6).  This package provides:
+
+- :mod:`~repro.workloads.dl.layers` — layer shape/FLOP arithmetic,
+- :mod:`~repro.workloads.dl.networks` — the four architectures with
+  footprints calibrated to the paper's reported allocations,
+- :mod:`~repro.workloads.dl.trainer` — the Darknet-style training loop
+  for every evaluated system (No-UVM, UVM-opt, discard variants),
+- :mod:`~repro.workloads.dl.checkpoint` — the gradient-checkpointing
+  alternative ([41]) compared against discard in a discussion bench.
+"""
+
+from repro.workloads.dl.checkpoint import CheckpointTrainer
+from repro.workloads.dl.layers import LayerSpec, conv_layer, fc_layer, rnn_layer
+from repro.workloads.dl.networks import (
+    NetworkSpec,
+    darknet19,
+    resnet53,
+    rnn_shakespeare,
+    vgg16,
+)
+from repro.workloads.dl.trainer import DarknetTrainer, TrainerConfig
+
+__all__ = [
+    "LayerSpec",
+    "conv_layer",
+    "fc_layer",
+    "rnn_layer",
+    "NetworkSpec",
+    "vgg16",
+    "darknet19",
+    "resnet53",
+    "rnn_shakespeare",
+    "DarknetTrainer",
+    "TrainerConfig",
+    "CheckpointTrainer",
+]

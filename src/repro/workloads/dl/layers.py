@@ -1,0 +1,124 @@
+"""Layer shape and FLOP arithmetic.
+
+Standard convolution/fully-connected/recurrent layer math, producing the
+four quantities the memory system cares about: weight bytes, stored
+activation bytes per sample, per-layer CUDNN-style workspace bytes, and
+forward/backward FLOPs per sample.  Darknet stores one output and one
+delta (activation gradient) buffer per layer, which the trainer allocates
+from these specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Bytes per element (Darknet trains in fp32).
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One trainable layer's memory and compute footprint."""
+
+    name: str
+    #: Parameter bytes (weights + biases).
+    weight_bytes: int
+    #: Stored output (activation) bytes per training sample.
+    output_bytes_per_sample: int
+    #: Scratch workspace the layer's kernels need, per sample (im2col /
+    #: CUDNN algorithm workspace — dead after each kernel).
+    workspace_bytes_per_sample: int
+    #: Forward FLOPs per sample.
+    fwd_flops_per_sample: float
+    #: Backward FLOPs per sample (data + weight gradients).
+    bwd_flops_per_sample: float
+
+    def __post_init__(self) -> None:
+        if self.weight_bytes < 0 or self.output_bytes_per_sample <= 0:
+            raise ConfigurationError(f"layer {self.name!r}: invalid sizes")
+
+
+def conv_layer(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    in_hw: int,
+    stride: int = 1,
+) -> LayerSpec:
+    """A square 2-D convolution with 'same' padding.
+
+    Output spatial size is ``in_hw / stride``; FLOPs follow the standard
+    2·K²·Cin·Cout·H'·W' multiply-accumulate count, with backward costing
+    roughly twice forward (input gradients + weight gradients).
+    """
+    if in_hw % stride != 0:
+        raise ConfigurationError(f"layer {name!r}: {in_hw} not divisible by {stride}")
+    out_hw = in_hw // stride
+    weights = kernel * kernel * in_channels * out_channels + out_channels
+    output_elems = out_channels * out_hw * out_hw
+    macs = kernel * kernel * in_channels * output_elems
+    # im2col workspace: K² input patches for every output position.
+    workspace = kernel * kernel * in_channels * out_hw * out_hw * DTYPE_BYTES
+    return LayerSpec(
+        name=name,
+        weight_bytes=weights * DTYPE_BYTES,
+        output_bytes_per_sample=output_elems * DTYPE_BYTES,
+        workspace_bytes_per_sample=workspace,
+        fwd_flops_per_sample=2.0 * macs,
+        bwd_flops_per_sample=4.0 * macs,
+    )
+
+
+def pool_layer(name: str, channels: int, in_hw: int, stride: int = 2) -> LayerSpec:
+    """Max pooling: no weights, tiny compute, shrinks the activation."""
+    if in_hw % stride != 0:
+        raise ConfigurationError(f"layer {name!r}: {in_hw} not divisible by {stride}")
+    out_hw = in_hw // stride
+    output_elems = channels * out_hw * out_hw
+    return LayerSpec(
+        name=name,
+        weight_bytes=0,
+        output_bytes_per_sample=output_elems * DTYPE_BYTES,
+        workspace_bytes_per_sample=0,
+        fwd_flops_per_sample=float(channels * in_hw * in_hw),
+        bwd_flops_per_sample=float(channels * in_hw * in_hw),
+    )
+
+
+def fc_layer(name: str, in_features: int, out_features: int) -> LayerSpec:
+    """A fully connected layer."""
+    weights = in_features * out_features + out_features
+    macs = in_features * out_features
+    return LayerSpec(
+        name=name,
+        weight_bytes=weights * DTYPE_BYTES,
+        output_bytes_per_sample=out_features * DTYPE_BYTES,
+        workspace_bytes_per_sample=0,
+        fwd_flops_per_sample=2.0 * macs,
+        bwd_flops_per_sample=4.0 * macs,
+    )
+
+
+def rnn_layer(name: str, hidden: int, steps: int, vocab: int = 0) -> LayerSpec:
+    """One recurrent layer unrolled over ``steps`` time steps.
+
+    The stored activation is the hidden state at every step (what the
+    backward pass consumes); compute is the recurrent matmul per step —
+    high FLOPs per stored byte, which is what makes the paper's RNN the
+    compute-intensive case (§7.5.2).
+    """
+    in_features = vocab if vocab else hidden
+    weights = (in_features * hidden + hidden * hidden + hidden) * DTYPE_BYTES
+    macs_per_step = in_features * hidden + hidden * hidden
+    output_elems = hidden * steps
+    return LayerSpec(
+        name=name,
+        weight_bytes=weights,
+        output_bytes_per_sample=output_elems * DTYPE_BYTES,
+        workspace_bytes_per_sample=hidden * DTYPE_BYTES,
+        fwd_flops_per_sample=2.0 * macs_per_step * steps,
+        bwd_flops_per_sample=4.0 * macs_per_step * steps,
+    )

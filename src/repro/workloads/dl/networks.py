@@ -1,0 +1,302 @@
+"""The four evaluated network architectures (§7.5).
+
+Footprints are derived from the real architecture shape math in
+:mod:`~repro.workloads.dl.layers`, then calibrated with two per-network
+constants — an activation multiplier (CUDNN internal tensors, Darknet's
+bookkeeping copies) and a fixed-extra term (library handles, algorithm
+workspaces that do not scale with batch) — so that total CUDA allocations
+match the paper's §7.5 report:
+
+    VGG-16     12.0 GB @ batch 75   and 21.1 GB @ 150
+    Darknet-19 11.2 GB @ batch 171  and 23.4 GB @ 360
+    ResNet-53  10.8 GB @ batch 56   and 28.5 GB @ 150
+    RNN        10.2 GB @ batch 150  and 20.0 GB @ 300
+
+("ResNet-53" is the 53-convolution residual backbone Darknet ships —
+a.k.a. Darknet-53 [24].)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+from repro.workloads.dl.layers import (
+    DTYPE_BYTES,
+    LayerSpec,
+    conv_layer,
+    fc_layer,
+    pool_layer,
+    rnn_layer,
+)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A trainable network plus its calibration constants."""
+
+    name: str
+    layers: Tuple[LayerSpec, ...]
+    #: Input sample size (e.g. 3x224x224 fp32 image).
+    input_bytes_per_sample: int
+    #: Label size per sample.
+    label_bytes_per_sample: int
+    #: Scales stored activations (outputs + deltas) to the paper's totals.
+    activation_multiplier: float = 1.0
+    #: Batch-independent allocation beyond weights (library buffers).
+    fixed_extra_bytes: int = 0
+    #: Cap on the shared CUDNN-style workspace buffer.
+    workspace_cap_bytes: int = 768 * MB
+    #: Scales FLOPs (framework efficiency factor).
+    flops_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError(f"network {self.name!r} has no layers")
+
+    # -- per-layer derived sizes ----------------------------------------
+
+    def output_bytes(self, layer: LayerSpec, batch_size: int) -> int:
+        """Stored activation buffer for one layer at ``batch_size``."""
+        return max(
+            DTYPE_BYTES,
+            int(layer.output_bytes_per_sample * batch_size * self.activation_multiplier),
+        )
+
+    def workspace_bytes(self, batch_size: int) -> int:
+        """The shared workspace: largest per-layer need, capped.
+
+        Darknet's GEMM loops over the batch one image at a time, so the
+        im2col workspace does not scale with batch size; the cap models
+        CUDNN picking a cheaper algorithm when the ideal workspace would
+        be enormous (the §7.5.2 algorithm switches).
+        """
+        need = max(l.workspace_bytes_per_sample for l in self.layers)
+        return min(int(need), self.workspace_cap_bytes)
+
+    def gradients_bytes(self, batch_size: int) -> int:
+        """The shared gradients buffer of Listing 6.
+
+        Sized for the largest layer output at this batch size: it is
+        re-written by every layer's backward kernel and consumed by the
+        weight update, then discarded (Listing 6).
+        """
+        largest = max(l.output_bytes_per_sample for l in self.layers)
+        return max(
+            DTYPE_BYTES,
+            int(largest * batch_size * self.activation_multiplier),
+        )
+
+    # -- aggregate footprints ---------------------------------------------
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(l.weight_bytes for l in self.layers)
+
+    @property
+    def per_sample_bytes(self) -> int:
+        """Stored-activation bytes per extra sample in a batch.
+
+        The activation multiplier folds in everything the paper's Darknet
+        stores alongside the raw layer outputs (normalization copies,
+        CUDNN-internal tensors).
+        """
+        return int(
+            sum(l.output_bytes_per_sample for l in self.layers)
+            * self.activation_multiplier
+        )
+
+    @property
+    def fixed_bytes(self) -> int:
+        """Batch-independent allocation: weights + library extras."""
+        return self.weight_bytes + self.fixed_extra_bytes
+
+    def total_bytes(self, batch_size: int) -> int:
+        """Total CUDA buffer allocation at ``batch_size`` (the paper's
+        'allocated X GB at batch size Y' numbers)."""
+        per_batch = (
+            self.per_sample_bytes
+            + self.input_bytes_per_sample
+            + self.label_bytes_per_sample
+        ) * batch_size
+        return (
+            self.fixed_bytes
+            + per_batch
+            + self.gradients_bytes(batch_size)
+            + self.workspace_bytes(batch_size)
+        )
+
+    def flops_per_sample(self) -> Tuple[float, float]:
+        """(forward, backward) FLOPs per sample, calibrated."""
+        fwd = sum(l.fwd_flops_per_sample for l in self.layers)
+        bwd = sum(l.bwd_flops_per_sample for l in self.layers)
+        return fwd * self.flops_multiplier, bwd * self.flops_multiplier
+
+    def scaled(self, factor: float) -> "NetworkSpec":
+        """Shrink every byte and FLOP count by ``factor``.
+
+        Pair with ``gpu.scaled(factor)``: ratios (oversubscription onset,
+        transfer/compute balance, traffic reductions) are preserved while
+        simulation cost drops by the same factor.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive: {factor}")
+        scaled_layers = tuple(
+            LayerSpec(
+                name=l.name,
+                weight_bytes=max(DTYPE_BYTES, int(l.weight_bytes * factor)),
+                output_bytes_per_sample=max(
+                    DTYPE_BYTES, int(l.output_bytes_per_sample * factor)
+                ),
+                workspace_bytes_per_sample=int(l.workspace_bytes_per_sample * factor),
+                fwd_flops_per_sample=l.fwd_flops_per_sample * factor,
+                bwd_flops_per_sample=l.bwd_flops_per_sample * factor,
+            )
+            for l in self.layers
+        )
+        return replace(
+            self,
+            layers=scaled_layers,
+            input_bytes_per_sample=max(
+                DTYPE_BYTES, int(self.input_bytes_per_sample * factor)
+            ),
+            label_bytes_per_sample=max(
+                DTYPE_BYTES, int(self.label_bytes_per_sample * factor)
+            ),
+            fixed_extra_bytes=int(self.fixed_extra_bytes * factor),
+            workspace_cap_bytes=max(DTYPE_BYTES, int(self.workspace_cap_bytes * factor)),
+        )
+
+
+def _vgg_block(layers: List[LayerSpec], count: int, in_ch: int, out_ch: int, hw: int) -> int:
+    for i in range(count):
+        layers.append(
+            conv_layer(
+                f"conv{out_ch}_{i + 1}", in_ch if i == 0 else out_ch, out_ch, 3, hw
+            )
+        )
+    layers.append(pool_layer(f"pool{out_ch}", out_ch, hw))
+    return hw // 2
+
+
+def vgg16() -> NetworkSpec:
+    """VGG-16 on 224x224 ImageNet [36]."""
+    layers: List[LayerSpec] = []
+    hw = 224
+    hw = _vgg_block(layers, 2, 3, 64, hw)
+    hw = _vgg_block(layers, 2, 64, 128, hw)
+    hw = _vgg_block(layers, 3, 128, 256, hw)
+    hw = _vgg_block(layers, 3, 256, 512, hw)
+    hw = _vgg_block(layers, 3, 512, 512, hw)
+    layers.append(fc_layer("fc6", 512 * hw * hw, 4096))
+    layers.append(fc_layer("fc7", 4096, 4096))
+    layers.append(fc_layer("fc8", 4096, 1000))
+    return NetworkSpec(
+        name="VGG-16",
+        layers=tuple(layers),
+        input_bytes_per_sample=3 * 224 * 224 * DTYPE_BYTES,
+        label_bytes_per_sample=1000 * DTYPE_BYTES,
+        activation_multiplier=1.65,
+        fixed_extra_bytes=2_230 * MB,
+    )
+
+
+def darknet19() -> NetworkSpec:
+    """Darknet-19, the YOLO9000 classification backbone [15]."""
+    layers: List[LayerSpec] = []
+    hw = 224
+    layers.append(conv_layer("conv1", 3, 32, 3, hw))
+    layers.append(pool_layer("pool1", 32, hw))
+    hw //= 2
+    layers.append(conv_layer("conv2", 32, 64, 3, hw))
+    layers.append(pool_layer("pool2", 64, hw))
+    hw //= 2
+    for stage, ch in enumerate((128, 256, 512, 1024)):
+        layers.append(conv_layer(f"conv{ch}_a", ch // 2, ch, 3, hw))
+        layers.append(conv_layer(f"conv{ch}_b", ch, ch // 2, 1, hw))
+        layers.append(conv_layer(f"conv{ch}_c", ch // 2, ch, 3, hw))
+        if ch >= 512:
+            layers.append(conv_layer(f"conv{ch}_d", ch, ch // 2, 1, hw))
+            layers.append(conv_layer(f"conv{ch}_e", ch // 2, ch, 3, hw))
+        if stage < 3:
+            layers.append(pool_layer(f"pool{ch}", ch, hw))
+            hw //= 2
+    layers.append(fc_layer("classifier", 1024, 1000))
+    return NetworkSpec(
+        name="Darknet-19",
+        layers=tuple(layers),
+        input_bytes_per_sample=3 * 224 * 224 * DTYPE_BYTES,
+        label_bytes_per_sample=1000 * DTYPE_BYTES,
+        activation_multiplier=2.31,
+        fixed_extra_bytes=67 * MB,
+    )
+
+
+def resnet53() -> NetworkSpec:
+    """The 53-convolution residual network (Darknet-53 [24, 15])."""
+    layers: List[LayerSpec] = []
+    hw = 256
+    layers.append(conv_layer("conv1", 3, 32, 3, hw))
+    layers.append(conv_layer("down1", 32, 64, 3, hw, stride=2))
+    hw //= 2
+    channels = 64
+    for stage, blocks in enumerate((1, 2, 8, 8, 4)):
+        for b in range(blocks):
+            layers.append(
+                conv_layer(f"res{stage}_{b}_1x1", channels, channels // 2, 1, hw)
+            )
+            layers.append(
+                conv_layer(f"res{stage}_{b}_3x3", channels // 2, channels, 3, hw)
+            )
+        if stage < 4:
+            layers.append(
+                conv_layer(f"down{stage + 2}", channels, channels * 2, 3, hw, stride=2)
+            )
+            hw //= 2
+            channels *= 2
+    layers.append(fc_layer("classifier", channels, 1000))
+    return NetworkSpec(
+        name="ResNet-53",
+        layers=tuple(layers),
+        input_bytes_per_sample=3 * 256 * 256 * DTYPE_BYTES,
+        label_bytes_per_sample=1000 * DTYPE_BYTES,
+        activation_multiplier=3.24,
+        fixed_extra_bytes=74 * MB,
+    )
+
+
+def rnn_shakespeare() -> NetworkSpec:
+    """Darknet's character RNN trained on the Shakespeare corpus [30].
+
+    Three recurrent layers of 1024 hidden units unrolled over a long
+    sequence; high FLOPs per stored activation byte make it the paper's
+    compute-intensive case.
+    """
+    steps = 1024
+    vocab = 256
+    # Each recurrent layer's unroll is split into segments (truncated
+    # BPTT): the trainer's per-kernel working set is then one segment's
+    # hidden states, matching the step-wise execution of a real RNN.
+    segments = 8
+    seg_steps = steps // segments
+    layer_list: List[LayerSpec] = []
+    for seg in range(segments):
+        layer_list.append(
+            rnn_layer(f"rnn1_seg{seg}", 1024, seg_steps, vocab=vocab)
+        )
+    for level in (2, 3):
+        for seg in range(segments):
+            layer_list.append(rnn_layer(f"rnn{level}_seg{seg}", 1024, seg_steps))
+    layer_list.append(fc_layer("logits", 1024, vocab))
+    layers = tuple(layer_list)
+    return NetworkSpec(
+        name="RNN",
+        layers=layers,
+        input_bytes_per_sample=steps * DTYPE_BYTES,
+        label_bytes_per_sample=steps * DTYPE_BYTES,
+        activation_multiplier=4.98,
+        fixed_extra_bytes=195 * MB,
+        flops_multiplier=2.0,
+    )

@@ -1,0 +1,161 @@
+"""Functional-mode workloads: kernels that really compute.
+
+The benchmark workloads (:mod:`~repro.workloads.radix_sort`,
+:mod:`~repro.workloads.hash_join`) model memory behaviour only — their
+kernels are declared access patterns.  The functions here are the same
+algorithms in *functional* simulation: managed buffers carry NumPy
+arrays, kernel bodies compute real results at completion, and the memory
+system still simulates every fault, migration and discard.  The tests
+verify both the numerics (the sort sorts, the join joins) and that the
+discard semantics never corrupted a value the program was entitled to.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.access import AccessMode
+from repro.cuda.kernel import BufferAccess, KernelSpec
+from repro.cuda.runtime import CudaRuntime
+
+#: Bits consumed per radix pass.
+RADIX_BITS = 8
+
+
+def functional_radix_sort(
+    cuda: CudaRuntime,
+    keys: np.ndarray,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """LSD radix sort of ``keys`` (uint32) on the simulated GPU.
+
+    Ping-pongs between the input buffer and a temporary, discarding the
+    stale side after each pass exactly as §7.3 describes.  Returns the
+    sorted array (also left in the input buffer's backing array).
+    """
+    if keys.dtype != np.uint32:
+        raise TypeError(f"radix sort expects uint32 keys, got {keys.dtype}")
+    work = keys.copy()
+    array_buf = cuda.malloc_managed(work.nbytes, "keys", array=work)
+    temp_arr = np.zeros_like(work)
+    temp_buf = cuda.malloc_managed(temp_arr.nbytes, "temp", array=temp_arr)
+    yield from cuda.host_write(array_buf)
+    cuda.prefetch_async(array_buf)
+    cuda.prefetch_async(temp_buf)
+
+    passes = 32 // RADIX_BITS
+    source, target = array_buf, temp_buf
+    for digit in range(passes):
+        shift = digit * RADIX_BITS
+
+        def body(src=source, dst=target, shift=shift):
+            order = np.argsort(
+                (src.array >> np.uint32(shift)) & np.uint32((1 << RADIX_BITS) - 1),
+                kind="stable",
+            )
+            dst.array[:] = src.array[order]
+
+        cuda.launch(
+            KernelSpec(
+                f"radix_pass_{digit}",
+                [
+                    BufferAccess(source, AccessMode.READ),
+                    BufferAccess(target, AccessMode.WRITE),
+                ],
+                flops=float(work.size * 8),
+                fn=body,
+            )
+        )
+        if discard is not None:
+            # The source side is dead until the next pass overwrites it.
+            cuda.discard_async(source, mode=discard)
+            cuda.prefetch_async(source)
+        source, target = target, source
+    yield from cuda.synchronize()
+    yield from cuda.host_read(source)
+    yield from cuda.synchronize()
+    return source.array.copy()
+
+
+def functional_hash_join(
+    cuda: CudaRuntime,
+    left_keys: np.ndarray,
+    left_values: np.ndarray,
+    right_keys: np.ndarray,
+    right_values: np.ndarray,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Inner hash-join of two (key, value) tables on the simulated GPU.
+
+    Build a hash table from the left table (the scratch the paper's §7.4
+    preprocessing fills and discards), probe with the right table, and
+    return matched ``(key, left_value, right_value)`` arrays sorted by
+    key for determinism.
+    """
+    left_k = cuda.malloc_managed(left_keys.nbytes, "left_keys", array=left_keys)
+    left_v = cuda.malloc_managed(left_values.nbytes, "left_vals", array=left_values)
+    right_k = cuda.malloc_managed(right_keys.nbytes, "right_keys", array=right_keys)
+    right_v = cuda.malloc_managed(right_values.nbytes, "right_vals", array=right_values)
+    for buffer in (left_k, left_v, right_k, right_v):
+        yield from cuda.host_write(buffer)
+
+    state = {}
+
+    def build():
+        state["table"] = dict(zip(left_k.array.tolist(), left_v.array.tolist()))
+
+    # The build side's hash table is modelled by a scratch buffer sized
+    # like the left table (the discardable intermediate).
+    scratch = cuda.malloc_managed(
+        max(left_keys.nbytes, 4), "hash_scratch"
+    )
+    cuda.prefetch_async(left_k)
+    cuda.prefetch_async(left_v)
+    cuda.launch(
+        KernelSpec(
+            "build_hash_table",
+            [
+                BufferAccess(left_k, AccessMode.READ),
+                BufferAccess(left_v, AccessMode.READ),
+                BufferAccess(scratch, AccessMode.WRITE),
+            ],
+            flops=float(left_keys.size * 16),
+            fn=build,
+        )
+    )
+
+    def probe():
+        table = state["table"]
+        matches = [
+            (int(k), table[int(k)], int(v))
+            for k, v in zip(right_k.array.tolist(), right_v.array.tolist())
+            if int(k) in table
+        ]
+        matches.sort()
+        state["result"] = matches
+
+    cuda.prefetch_async(right_k)
+    cuda.prefetch_async(right_v)
+    cuda.launch(
+        KernelSpec(
+            "probe_hash_table",
+            [
+                BufferAccess(right_k, AccessMode.READ),
+                BufferAccess(right_v, AccessMode.READ),
+                BufferAccess(scratch, AccessMode.READWRITE),
+            ],
+            flops=float(right_keys.size * 16),
+            fn=probe,
+        )
+    )
+    if discard is not None:
+        # §7.4: the hash table is dead once the probe finished.
+        cuda.discard_async(scratch, mode=discard)
+    yield from cuda.synchronize()
+    result = state["result"]
+    keys = np.array([m[0] for m in result], dtype=left_keys.dtype)
+    lvals = np.array([m[1] for m in result], dtype=left_values.dtype)
+    rvals = np.array([m[2] for m in result], dtype=right_values.dtype)
+    return keys, lvals, rvals

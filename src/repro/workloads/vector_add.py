@@ -1,0 +1,112 @@
+"""VectorAdd — the paper's running example (Listings 1, 2 and 3).
+
+Three variants of ``C = A + B``:
+
+- :func:`explicit_vector_add` — Listing 1: explicit device buffers and
+  `cudaMemcpyAsync` marshalling.
+- :func:`uvm_vector_add` — Listing 2: managed buffers, optional
+  prefetches, fault-driven migration.
+- :func:`uvm_vector_add` with ``reuse_with_discard=True`` — Listing 3:
+  the output buffer is repurposed by a second kernel after a discard.
+
+All variants are *functional*: the kernels really compute the sums into
+NumPy arrays, which the tests compare against ``a + b``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.access import AccessMode
+from repro.cuda.kernel import BufferAccess, KernelSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.instrument.traffic import TransferDirection
+
+
+def _vec_kernel(name, out, a, b, flops):
+    """A functional vector-add kernel: out = a + b."""
+
+    def body() -> None:
+        if out.array is not None and a.array is not None and b.array is not None:
+            np.add(a.array, b.array, out=out.array)
+
+    return KernelSpec(
+        name,
+        [
+            BufferAccess(a, AccessMode.READ),
+            BufferAccess(b, AccessMode.READ),
+            BufferAccess(out, AccessMode.WRITE),
+        ],
+        flops=flops,
+        fn=body,
+    )
+
+
+def explicit_vector_add(cuda: CudaRuntime, n: int) -> Generator:
+    """Listing 1: manual buffers, explicit copies.  Yields host time."""
+    h_a = np.arange(n, dtype=np.float32)
+    h_b = np.full(n, 2.0, dtype=np.float32)
+    h_c = np.empty(n, dtype=np.float32)
+    nbytes = h_a.nbytes
+    d_a = yield from cuda.malloc_device(nbytes, "d_A")
+    d_b = yield from cuda.malloc_device(nbytes, "d_B")
+    d_c = yield from cuda.malloc_device(nbytes, "d_C")
+    cuda.memcpy_async(nbytes, TransferDirection.HOST_TO_DEVICE)
+    cuda.memcpy_async(nbytes, TransferDirection.HOST_TO_DEVICE)
+    cuda.launch_raw("vectorAdd", duration=n / cuda.gpu.effective_flops)
+    cuda.memcpy_async(nbytes, TransferDirection.DEVICE_TO_HOST)
+    yield from cuda.synchronize()
+    np.add(h_a, h_b, out=h_c)  # the functional result of the copies+kernel
+    yield from cuda.free_device(d_a)
+    yield from cuda.free_device(d_b)
+    yield from cuda.free_device(d_c)
+    return h_c
+
+
+def uvm_vector_add(
+    cuda: CudaRuntime,
+    n: int,
+    prefetch: bool = True,
+    reuse_with_discard: Optional[str] = None,
+) -> Generator:
+    """Listing 2 (and, with ``reuse_with_discard``, Listing 3).
+
+    Args:
+        prefetch: issue the optional `cudaMemPrefetchAsync` calls.
+        reuse_with_discard: if a discard mode ("eager"/"lazy"), repurpose
+            buffer ``A`` after the first kernel as Listing 3 does: discard
+            it, prefetch it back, and run a second kernel writing into it.
+
+    Returns the output array (``C``, or the repurposed ``A``).
+    """
+    a_arr = np.arange(n, dtype=np.float32)
+    b_arr = np.full(n, 2.0, dtype=np.float32)
+    c_arr = np.zeros(n, dtype=np.float32)
+    a = cuda.malloc_managed(a_arr.nbytes, "A", array=a_arr)
+    b = cuda.malloc_managed(b_arr.nbytes, "B", array=b_arr)
+    c = cuda.malloc_managed(c_arr.nbytes, "C", array=c_arr)
+    # Generate input data on the host (CPU first touch, Figure 1 ①).
+    yield from cuda.host_write(a)
+    yield from cuda.host_write(b)
+    if prefetch:
+        cuda.prefetch_async(a)
+        cuda.prefetch_async(b)
+        cuda.prefetch_async(c)  # prefault the output
+    cuda.launch(_vec_kernel("vectorAdd", c, a, b, flops=float(n)))
+    if reuse_with_discard is not None:
+        # Listing 3: A's inputs are dead; repurpose A for a second sum.
+        cuda.discard_async(a, mode=reuse_with_discard)
+        if prefetch or reuse_with_discard == "lazy":
+            # Mandatory for lazy (§5.2); best practice for eager (§4.2).
+            cuda.prefetch_async(a)
+        cuda.launch(_vec_kernel("vectorAdd2", a, b, c, flops=float(n)))
+    if prefetch:
+        target = a if reuse_with_discard is not None else c
+        cuda.prefetch_async(target, destination="cpu")
+    yield from cuda.synchronize()
+    out = a if reuse_with_discard is not None else c
+    yield from cuda.host_read(out)
+    yield from cuda.synchronize()
+    return out.array

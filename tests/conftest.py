@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cuda.device import GpuSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
+from repro.units import GB, MIB
+
+
+def tiny_gpu(memory_mib: int = 64, name: str = "gpu0") -> GpuSpec:
+    """A deliberately small GPU so tests exercise eviction cheaply."""
+    return GpuSpec(
+        name=name,
+        memory_bytes=memory_mib * MIB,
+        effective_flops=1e12,
+        local_bandwidth=500 * GB,
+        zero_bandwidth=500 * GB,
+        model=f"test-gpu-{memory_mib}MiB",
+    )
+
+
+@pytest.fixture
+def runtime() -> CudaRuntime:
+    """A runtime with a 64 MiB GPU and strict semantics checking."""
+    config = UvmDriverConfig(strict_lazy=False, keep_transfer_records=True)
+    return CudaRuntime(gpu=tiny_gpu(), driver_config=config)
+
+
+@pytest.fixture
+def big_runtime() -> CudaRuntime:
+    """A runtime whose GPU comfortably fits the test workloads."""
+    return CudaRuntime(gpu=tiny_gpu(memory_mib=1024))

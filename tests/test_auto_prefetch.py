@@ -1,0 +1,95 @@
+"""Tests for the driver-side sequential auto-prefetcher (extension)."""
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.driver.config import UvmDriverConfig
+from repro.gpu.access import IrregularPattern, SequentialPattern
+from repro.units import MIB
+
+
+def run_sweep(auto: bool, pattern=None, buffer_mib=32, waves=16):
+    config = UvmDriverConfig(auto_prefetch_enabled=auto)
+    runtime = CudaRuntime(gpu=tiny_gpu(64), driver_config=config)
+    buffer = runtime.malloc_managed(buffer_mib * MIB, "data")
+
+    def program(cuda):
+        yield from cuda.host_write(buffer)
+        cuda.begin_measurement()
+        cuda.launch(
+            KernelSpec(
+                "sweep",
+                [
+                    BufferAccess(
+                        buffer,
+                        AccessMode.READ,
+                        pattern=pattern or SequentialPattern(),
+                    )
+                ],
+                flops=1e8,
+                waves=waves,
+            )
+        )
+        yield from cuda.synchronize()
+
+    runtime.run(program)
+    return runtime
+
+
+class TestAutoPrefetch:
+    def test_disabled_by_default(self):
+        runtime = run_sweep(auto=False)
+        assert runtime.driver.counters["auto_prefetched_blocks"] == 0
+
+    def test_sequential_stream_detected(self):
+        runtime = run_sweep(auto=True)
+        assert runtime.driver.counters["auto_prefetched_blocks"] > 0
+
+    def test_reduces_fault_batches_and_time(self):
+        baseline = run_sweep(auto=False)
+        assisted = run_sweep(auto=True)
+        assert (
+            assisted.driver.counters["gpu_faulted_blocks"]
+            < baseline.driver.counters["gpu_faulted_blocks"]
+        )
+        assert assisted.measured_seconds < baseline.measured_seconds
+
+    def test_irregular_access_not_prefetched(self):
+        runtime = run_sweep(
+            auto=True, pattern=IrregularPattern(passes=1, seed=5)
+        )
+        # Random fault order never establishes a stream.
+        assert runtime.driver.counters["auto_prefetched_blocks"] == 0
+
+    def test_same_total_traffic(self):
+        """Prefetching ahead changes *when*, not *how much*, data moves."""
+        baseline = run_sweep(auto=False)
+        assisted = run_sweep(auto=True)
+        assert (
+            assisted.driver.traffic.total_bytes
+            == baseline.driver.traffic.total_bytes
+        )
+
+    def test_trigger_threshold_respected(self):
+        config = UvmDriverConfig(
+            auto_prefetch_enabled=True, auto_prefetch_trigger=10_000
+        )
+        runtime = CudaRuntime(gpu=tiny_gpu(64), driver_config=config)
+        buffer = runtime.malloc_managed(16 * MIB, "data")
+
+        def program(cuda):
+            yield from cuda.host_write(buffer)
+            cuda.launch(
+                KernelSpec(
+                    "sweep",
+                    [BufferAccess(buffer, AccessMode.READ)],
+                    flops=1e7,
+                    waves=8,
+                )
+            )
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert runtime.driver.counters["auto_prefetched_blocks"] == 0

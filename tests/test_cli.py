@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fir"])
+        assert args.experiment == "fir"
+        assert args.scale == 0.125
+        assert args.link == "gen4"
+        assert args.csv is None
+
+    def test_bad_link_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fir", "--link", "gen5"])
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_micro_experiment_prints_tables(self, capsys):
+        assert main(["run", "fir", "--scale", "0.03125"]) == 0
+        out = capsys.readouterr().out
+        assert "UVM-opt" in out
+        assert "UvmDiscard" in out
+        assert "<100%" in out and "400%" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "rows.csv"
+        assert main(
+            ["run", "hashjoin", "--scale", "0.03125", "--csv", str(target)]
+        ) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("system,config,")
+        assert len(lines) == 1 + 4 * 3  # header + ratios x systems
+
+    def test_dl_experiment(self, capsys):
+        assert main(["run", "dl:rnn", "--scale", "0.03125"]) == 0
+        out = capsys.readouterr().out
+        assert "RNN" in out
+
+    def test_pcie3_option(self, capsys):
+        assert main(["run", "fir", "--scale", "0.03125", "--link", "gen3"]) == 0
+
+
+class TestReproduce:
+    def test_writes_markdown_report(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        # One micro + one DL experiment at minimal scale keeps this fast;
+        # monkeypatch the experiment list down.
+        import repro.cli as cli
+
+        original = dict(cli.EXPERIMENTS)
+        try:
+            cli.EXPERIMENTS.clear()
+            cli.EXPERIMENTS["fir"] = original["fir"]
+            assert main(
+                ["reproduce", "--scale", "0.03125", "--output", str(target)]
+            ) == 0
+        finally:
+            cli.EXPERIMENTS.clear()
+            cli.EXPERIMENTS.update(original)
+        text = target.read_text()
+        assert text.startswith("# UVM Discard reproduction report")
+        assert "| UVM-opt |" in text
+        assert "speedup" in text
+
+
+class TestDemo:
+    def test_demo_verifies_result(self, capsys):
+        assert main(["demo"]) == 0
+        assert "result OK" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for managed/device buffers and the CUDA API cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cuda.costs import ApiCostModel
+from repro.cuda.memory import DeviceBuffer, ManagedBuffer
+from repro.errors import InvalidAddressError, SimulationError
+from repro.units import BIG_PAGE, MB, MIB, us
+from repro.vm.layout import AddressSpace
+
+
+def make_buffer(nbytes, name="buf"):
+    space = AddressSpace()
+    return ManagedBuffer(name, space.allocate(nbytes))
+
+
+class TestManagedBuffer:
+    def test_block_decomposition(self):
+        buffer = make_buffer(5 * MIB)  # 2.5 blocks
+        assert len(buffer.blocks) == 3
+        assert [b.used_bytes for b in buffer.blocks] == [BIG_PAGE, BIG_PAGE, MIB]
+        assert buffer.nbytes == 5 * MIB
+        assert len(buffer) == 5 * MIB
+
+    def test_small_buffer_single_block(self):
+        buffer = make_buffer(4096)
+        assert len(buffer.blocks) == 1
+        assert buffer.blocks[0].used_bytes == 4096
+
+    def test_blocks_backref_buffer(self):
+        buffer = make_buffer(4 * MIB)
+        assert all(b.buffer is buffer for b in buffer.blocks)
+
+    def test_blocks_in_subrange(self):
+        buffer = make_buffer(8 * MIB)
+        rng = buffer.subrange(2 * MIB, 2 * MIB)
+        selected = buffer.blocks_in(rng)
+        assert selected == buffer.blocks[1:2]
+
+    def test_blocks_in_partial_overlap(self):
+        buffer = make_buffer(8 * MIB)
+        rng = buffer.subrange(MIB, 2 * MIB)  # straddles blocks 0 and 1
+        assert buffer.blocks_in(rng) == buffer.blocks[0:2]
+
+    def test_blocks_in_foreign_range_rejected(self):
+        buffer = make_buffer(2 * MIB)
+        from repro.vm.layout import VaRange
+
+        with pytest.raises(InvalidAddressError):
+            buffer.blocks_in(VaRange(0, 100))
+
+    def test_use_after_free_rejected(self):
+        buffer = make_buffer(2 * MIB)
+        buffer.freed = True
+        with pytest.raises(SimulationError):
+            buffer.blocks_in()
+        with pytest.raises(SimulationError):
+            buffer.subrange()
+
+    def test_resident_bytes_on(self):
+        buffer = make_buffer(4 * MIB)
+        assert buffer.resident_bytes_on("gpu0") == 0
+        buffer.blocks[0].residency = "gpu0"
+        assert buffer.resident_bytes_on("gpu0") == BIG_PAGE
+
+    def test_backing_array(self):
+        array = np.zeros(1024, dtype=np.float32)
+        space = AddressSpace()
+        buffer = ManagedBuffer("a", space.allocate(array.nbytes), array=array)
+        assert buffer.array is array
+
+    @given(st.integers(min_value=1, max_value=64 * MIB))
+    def test_block_bytes_sum_to_buffer_size(self, nbytes):
+        buffer = make_buffer(nbytes)
+        assert sum(b.used_bytes for b in buffer.blocks) == nbytes
+        indices = [b.index for b in buffer.blocks]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+
+class TestDeviceBuffer:
+    def test_basic(self):
+        buffer = DeviceBuffer("d", 1024, "gpu0")
+        assert len(buffer) == 1024
+        assert not buffer.freed
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(InvalidAddressError):
+            DeviceBuffer("d", 0, "gpu0")
+
+
+class TestApiCostModel:
+    def test_table2_calibration_points(self):
+        costs = ApiCostModel()
+        assert costs.malloc_device(2 * MB) == pytest.approx(us(48))
+        assert costs.malloc_device(128 * MB) == pytest.approx(us(939))
+        assert costs.free_device(2 * MB) == pytest.approx(us(32))
+        assert costs.free_device(128 * MB) == pytest.approx(us(1184))
+
+    def test_interpolation_between_points(self):
+        costs = ApiCostModel()
+        mid = costs.malloc_device(16 * MB)
+        assert us(184) < mid < us(726)
+
+    def test_below_first_point_clamped(self):
+        costs = ApiCostModel()
+        assert costs.malloc_device(1024) == pytest.approx(us(48))
+
+    def test_extrapolation_beyond_last_point(self):
+        costs = ApiCostModel()
+        assert costs.malloc_device(512 * MB) >= costs.malloc_device(128 * MB)
+
+    def test_malloc_managed_is_cheap_and_size_independent(self):
+        costs = ApiCostModel()
+        assert costs.malloc_managed(2 * MB) == costs.malloc_managed(2048 * MB)
+        assert costs.malloc_managed(2 * MB) < costs.malloc_device(2 * MB)
+
+    def test_validation(self):
+        costs = ApiCostModel()
+        with pytest.raises(ValueError):
+            costs.malloc_device(0)
+        with pytest.raises(ValueError):
+            costs.malloc_managed(-1)
+
+    @given(st.integers(min_value=1, max_value=2 * 1024 * MB))
+    def test_costs_positive_and_monotone_sampling(self, nbytes):
+        costs = ApiCostModel()
+        assert costs.malloc_device(nbytes) > 0
+        assert costs.free_device(nbytes) > 0

@@ -1,0 +1,244 @@
+"""Tests for the CudaRuntime facade — the library's public API."""
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.cuda.device import a100_40gb, gtx_1070, rtx_3080ti, ryzen_3900x
+from repro.errors import ConfigurationError, OutOfMemoryError, SimulationError
+from repro.instrument.traffic import TransferDirection
+from repro.units import GIB, MIB
+
+
+class TestDevicePresets:
+    def test_3080ti_matches_paper(self):
+        gpu = rtx_3080ti()
+        assert gpu.memory_bytes == int(11.77 * GIB)
+        assert gpu.name == "gpu0"
+
+    def test_presets_ordering(self):
+        assert gtx_1070().memory_bytes < rtx_3080ti().memory_bytes
+        assert a100_40gb().local_bandwidth > rtx_3080ti().local_bandwidth
+
+    def test_scaled(self):
+        gpu = rtx_3080ti().scaled(0.5)
+        assert gpu.memory_bytes == int(11.77 * GIB) // 2
+        assert gpu.effective_flops == rtx_3080ti().effective_flops
+        with pytest.raises(ValueError):
+            rtx_3080ti().scaled(0)
+
+    def test_host_preset(self):
+        host = ryzen_3900x()
+        assert host.memory_bytes == 64 * GIB
+        assert host.scaled(0.5).memory_bytes == 32 * GIB
+
+
+class TestMallocManaged:
+    def test_returns_registered_buffer(self, runtime):
+        buffer = runtime.malloc_managed(4 * MIB, "A")
+        assert buffer.name == "A"
+        assert runtime.driver.block(buffer.blocks[0].index) is buffer.blocks[0]
+
+    def test_auto_names_unique(self, runtime):
+        a = runtime.malloc_managed(MIB)
+        b = runtime.malloc_managed(MIB)
+        assert a.name != b.name
+
+    def test_backing_array_size_checked(self, runtime):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            runtime.malloc_managed(MIB, array=np.zeros(10, dtype=np.float32))
+
+    def test_free_releases_blocks(self, runtime):
+        buffer = runtime.malloc_managed(4 * MIB)
+        runtime.free(buffer)
+        assert buffer.freed
+        with pytest.raises(SimulationError):
+            runtime.free(buffer)
+
+    def test_oversubscribing_allocation_allowed(self, runtime):
+        # Managed allocations may exceed device memory (the whole point).
+        buffer = runtime.malloc_managed(10 * runtime.gpu.memory_bytes)
+        assert buffer.nbytes == 10 * runtime.gpu.memory_bytes
+
+
+class TestHostAccess:
+    def test_host_write_populates_cpu(self, runtime):
+        buffer = runtime.malloc_managed(4 * MIB)
+
+        def program(cuda):
+            yield from cuda.host_write(buffer)
+
+        runtime.run(program)
+        assert all(b.on_cpu and b.populated for b in buffer.blocks)
+        assert runtime.driver.traffic.total_bytes == 0
+
+    def test_host_write_takes_bandwidth_time(self, runtime):
+        buffer = runtime.malloc_managed(64 * MIB)
+
+        def program(cuda):
+            yield from cuda.host_write(buffer)
+
+        runtime.run(program)
+        assert runtime.elapsed >= 64 * MIB / runtime.host.memory_bandwidth
+
+    def test_host_read_of_gpu_data_migrates_back(self, runtime):
+        buffer = runtime.malloc_managed(4 * MIB)
+
+        def program(cuda):
+            yield from cuda.host_write(buffer)
+            cuda.prefetch_async(buffer)
+            yield from cuda.synchronize()
+            yield from cuda.host_read(buffer)
+
+        runtime.run(program)
+        assert all(b.on_cpu for b in buffer.blocks)
+        assert runtime.driver.traffic.bytes_d2h == 4 * MIB
+
+    def test_partial_range_access(self, runtime):
+        buffer = runtime.malloc_managed(8 * MIB)
+
+        def program(cuda):
+            yield from cuda.host_write(buffer, rng=buffer.subrange(0, 2 * MIB))
+
+        runtime.run(program)
+        assert buffer.blocks[0].populated
+        assert not buffer.blocks[2].populated
+
+
+class TestAsyncOps:
+    def test_prefetch_validates_destination(self, runtime):
+        buffer = runtime.malloc_managed(2 * MIB)
+        with pytest.raises(ConfigurationError):
+            runtime.prefetch_async(buffer, destination="gpu7")
+
+    def test_prefetch_to_cpu(self, runtime):
+        buffer = runtime.malloc_managed(2 * MIB)
+
+        def program(cuda):
+            cuda.prefetch_async(buffer)
+            cuda.prefetch_async(buffer, destination="cpu")
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert buffer.blocks[0].on_cpu
+
+    def test_discard_mode_validated(self, runtime):
+        buffer = runtime.malloc_managed(2 * MIB)
+        with pytest.raises(ConfigurationError):
+            runtime.discard_async(buffer, mode="aggressive")
+
+    def test_discard_returns_outcome(self, runtime):
+        buffer = runtime.malloc_managed(4 * MIB)
+
+        def program(cuda):
+            cuda.prefetch_async(buffer)
+            process = cuda.discard_async(buffer, mode="eager")
+            yield from cuda.synchronize()
+            return process.value
+
+        runtime.run(program)
+        assert all(b.discarded for b in buffer.blocks)
+
+    def test_launch_kernel_faults_and_computes(self, runtime):
+        buffer = runtime.malloc_managed(4 * MIB)
+        kernel = KernelSpec(
+            "k", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e9
+        )
+
+        def program(cuda):
+            cuda.launch(kernel)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert all(b.residency == "gpu0" for b in buffer.blocks)
+        assert runtime.executor.kernels_launched == 1
+        assert runtime.elapsed >= 1e9 / runtime.gpu.effective_flops
+
+    def test_stream_ordering_discard_after_kernel(self, runtime):
+        """§4.2: the discard is ordered after the preceding kernel."""
+        buffer = runtime.malloc_managed(4 * MIB)
+        kernel = KernelSpec(
+            "k", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e9
+        )
+
+        def program(cuda):
+            cuda.launch(kernel)
+            cuda.discard_async(buffer, mode="eager")
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        # The kernel's writes happened before the discard (no misuse, no
+        # corruption) and the blocks ended discarded.
+        assert runtime.driver.counters["lazy_misuses"] == 0
+        assert all(b.discarded for b in buffer.blocks)
+
+
+class TestDeviceMemoryPath:
+    def test_malloc_free_device_costs_and_capacity(self, runtime):
+        def program(cuda):
+            buffer = yield from cuda.malloc_device(8 * MIB, "d")
+            assert cuda.driver.gpu_free_bytes("gpu0") == (
+                cuda.gpu.memory_bytes - 8 * MIB
+            )
+            yield from cuda.free_device(buffer)
+
+        runtime.run(program)
+        assert runtime.driver.gpu_free_bytes("gpu0") == runtime.gpu.memory_bytes
+        assert runtime.elapsed > 0
+
+    def test_device_oom(self, runtime):
+        def program(cuda):
+            yield from cuda.malloc_device(cuda.gpu.memory_bytes + MIB)
+
+        with pytest.raises(OutOfMemoryError):
+            runtime.run(program)
+
+    def test_double_free_device_rejected(self, runtime):
+        def program(cuda):
+            buffer = yield from cuda.malloc_device(2 * MIB)
+            yield from cuda.free_device(buffer)
+            yield from cuda.free_device(buffer)
+
+        with pytest.raises(SimulationError):
+            runtime.run(program)
+
+    def test_memcpy_records_traffic(self, runtime):
+        def program(cuda):
+            cuda.memcpy_async(4 * MIB, TransferDirection.HOST_TO_DEVICE)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert runtime.driver.traffic.bytes_h2d == 4 * MIB
+
+
+class TestMeasurement:
+    def test_measured_region(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+
+        def program(cuda):
+            yield cuda.env.timeout(1.0)
+            cuda.begin_measurement()
+            yield cuda.env.timeout(2.0)
+
+        runtime.run(program)
+        assert runtime.elapsed == pytest.approx(3.0)
+        assert runtime.measured_seconds == pytest.approx(2.0)
+
+    def test_stats_keys(self, runtime):
+        def program(cuda):
+            yield cuda.env.timeout(0.0)
+
+        runtime.run(program)
+        stats = runtime.stats()
+        for key in (
+            "elapsed_seconds",
+            "traffic_gb",
+            "traffic_h2d_gb",
+            "traffic_d2h_gb",
+            "redundant_gb",
+            "useful_gb",
+        ):
+            assert key in stats

@@ -1,0 +1,166 @@
+"""Tests for CUDA streams and events: ordering, overlap, synchronization."""
+
+import pytest
+
+from repro.cuda.stream import CudaEvent, CudaStream, synchronize_all
+from repro.engine import Environment
+
+
+def make_env_stream():
+    env = Environment()
+    return env, CudaStream(env, "s0")
+
+
+def op(env, duration, trace, tag):
+    def body():
+        yield env.timeout(duration)
+        trace.append((tag, env.now))
+        return tag
+
+    return body
+
+
+class TestStreamOrdering:
+    def test_fifo_execution(self):
+        env, stream = make_env_stream()
+        trace = []
+        for i in range(3):
+            stream.enqueue(op(env, 1.0, trace, i))
+        env.run()
+        assert trace == [(0, 1.0), (1, 2.0), (2, 3.0)]
+        assert stream.ops_enqueued == 3
+
+    def test_enqueue_returns_process_with_value(self):
+        env, stream = make_env_stream()
+        trace = []
+        process = stream.enqueue(op(env, 1.0, trace, "result"))
+        env.run()
+        assert process.value == "result"
+
+    def test_two_streams_overlap(self):
+        env = Environment()
+        a = CudaStream(env, "a")
+        b = CudaStream(env, "b")
+        trace = []
+        a.enqueue(op(env, 2.0, trace, "a0"))
+        b.enqueue(op(env, 2.0, trace, "b0"))
+        env.run()
+        assert env.now == pytest.approx(2.0)  # parallel, not 4.0
+        assert {t for t, _ in trace} == {"a0", "b0"}
+
+    def test_wait_for_cross_stream_dependency(self):
+        env = Environment()
+        producer = CudaStream(env, "producer")
+        consumer = CudaStream(env, "consumer")
+        trace = []
+        produced = producer.enqueue(op(env, 3.0, trace, "produce"))
+        consumer.wait_for(produced)
+        consumer.enqueue(op(env, 1.0, trace, "consume"))
+        env.run()
+        assert trace == [("produce", 3.0), ("consume", 4.0)]
+
+    def test_synchronize_waits_for_tail(self):
+        env, stream = make_env_stream()
+        trace = []
+        stream.enqueue(op(env, 2.0, trace, "x"))
+
+        def host():
+            yield from stream.synchronize()
+            trace.append(("host", env.now))
+
+        env.process(host())
+        env.run()
+        assert trace[-1] == ("host", 2.0)
+
+    def test_synchronize_empty_stream(self):
+        env, stream = make_env_stream()
+
+        def host():
+            yield from stream.synchronize()
+            yield env.timeout(0)
+
+        env.process(host())
+        env.run()
+        assert stream.idle
+
+
+class TestCudaEvent:
+    def test_record_and_wait(self):
+        env = Environment()
+        a = CudaStream(env, "a")
+        b = CudaStream(env, "b")
+        trace = []
+        a.enqueue(op(env, 2.0, trace, "a0"))
+        event = CudaEvent(env, "checkpoint")
+        a.record_event(event)
+        b.wait_event(event)
+        b.enqueue(op(env, 1.0, trace, "b0"))
+        env.run()
+        assert trace == [("a0", 2.0), ("b0", 3.0)]
+        assert event.recorded
+
+    def test_wait_on_unrecorded_event_is_noop(self):
+        env = Environment()
+        stream = CudaStream(env, "s")
+        trace = []
+        stream.wait_event(CudaEvent(env))
+        stream.enqueue(op(env, 1.0, trace, "x"))
+        env.run()
+        assert trace == [("x", 1.0)]
+
+    def test_record_on_empty_stream_fires_immediately(self):
+        env = Environment()
+        stream = CudaStream(env, "s")
+        event = CudaEvent(env)
+        stream.record_event(event)
+        other = CudaStream(env, "o")
+        trace = []
+        other.wait_event(event)
+        other.enqueue(op(env, 1.0, trace, "y"))
+        env.run()
+        assert trace == [("y", 1.0)]
+
+
+class TestDeviceSynchronize:
+    def test_waits_for_all_streams(self):
+        env = Environment()
+        streams = [CudaStream(env, f"s{i}") for i in range(3)]
+        trace = []
+        for i, stream in enumerate(streams):
+            stream.enqueue(op(env, float(i + 1), trace, i))
+
+        def host():
+            yield from synchronize_all(env, streams)
+            trace.append(("synced", env.now))
+
+        env.process(host())
+        env.run()
+        assert trace[-1] == ("synced", 3.0)
+
+    def test_no_streams(self):
+        env = Environment()
+
+        def host():
+            yield from synchronize_all(env, [])
+            yield env.timeout(1.0)
+
+        env.process(host())
+        env.run()
+        assert env.now == pytest.approx(1.0)
+
+
+class TestErrorPropagation:
+    def test_failed_op_poisons_later_ops(self):
+        env, stream = make_env_stream()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("kernel fault")
+
+        def innocent():
+            yield env.timeout(1.0)
+
+        stream.enqueue(failing)
+        stream.enqueue(innocent)
+        with pytest.raises(ValueError, match="kernel fault"):
+            env.run()

@@ -1,0 +1,131 @@
+"""Misc coverage: device specs, access modes, split-block mechanics,
+runtime memcpy/event paths."""
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, CudaRuntime
+from repro.cuda.device import GpuSpec, a100_40gb, gtx_1070, rtx_3080ti
+from repro.cuda.stream import CudaEvent
+from repro.driver.migration import coalesce_spans
+from repro.driver.va_block import VaBlock
+from repro.units import BIG_PAGE, GB, MIB
+
+
+class TestAccessMode:
+    def test_reads_writes_flags(self):
+        assert AccessMode.READ.reads and not AccessMode.READ.writes
+        assert AccessMode.WRITE.writes and not AccessMode.WRITE.reads
+        assert AccessMode.READWRITE.reads and AccessMode.READWRITE.writes
+
+
+class TestGpuSpecs:
+    def test_all_presets_well_formed(self):
+        for factory in (rtx_3080ti, gtx_1070, a100_40gb):
+            spec = factory()
+            assert spec.memory_bytes > 0
+            assert spec.effective_flops > 0
+            assert spec.local_bandwidth > spec.zero_bandwidth / 10
+            assert spec.model
+
+    def test_custom_names(self):
+        assert rtx_3080ti("gpuX").name == "gpuX"
+
+    def test_local_bandwidth_dwarfs_interconnect(self):
+        """The §2.3 gap the whole paper rests on."""
+        from repro.interconnect import pcie_gen4
+
+        assert rtx_3080ti().local_bandwidth > 30 * pcie_gen4().peak_bandwidth
+
+    def test_a100_paper_figures(self):
+        assert a100_40gb().local_bandwidth > 2000 * GB  # ">2TB/s"
+
+
+class TestSplitBlocks:
+    def test_split_blocks_never_coalesce(self):
+        blocks = [VaBlock(i, BIG_PAGE) for i in range(4)]
+        blocks[1].split = True
+        spans = coalesce_spans(blocks)
+        assert [[b.index for b in s] for s in spans] == [[0], [1], [2, 3]]
+
+    def test_split_transfer_slower(self):
+        from repro.driver.migration import MigrationEngine, CopyEngines
+        from repro.engine import Environment
+        from repro.instrument.rmt import RmtClassifier
+        from repro.instrument.traffic import (
+            TrafficRecorder,
+            TransferDirection,
+            TransferReason,
+        )
+        from repro.interconnect import pcie_gen4
+
+        def timed(split):
+            env = Environment()
+            engine = MigrationEngine(
+                env, pcie_gen4(), TrafficRecorder(), RmtClassifier()
+            )
+            engines = CopyEngines(env)
+            block = VaBlock(1, BIG_PAGE)
+            block.split = split
+
+            def driver():
+                yield from engine.transfer_blocks(
+                    [block], TransferDirection.HOST_TO_DEVICE,
+                    TransferReason.FAULT_MIGRATION, engines,
+                )
+
+            env.run(until=env.process(driver()))
+            return env.now
+
+        assert timed(split=True) > 5 * timed(split=False)
+
+
+class TestRuntimeEvents:
+    def test_cuda_event_cross_stream(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        a = runtime.create_stream("a")
+        b = runtime.create_stream("b")
+        order = []
+
+        def slow():
+            yield runtime.env.timeout(1.0)
+            order.append("a-done")
+
+        def fast():
+            yield runtime.env.timeout(0.0)
+            order.append("b-done")
+
+        a.enqueue(slow)
+        event = CudaEvent(runtime.env, "sync")
+        a.record_event(event)
+        b.wait_event(event)
+        b.enqueue(fast)
+
+        def program(cuda):
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert order == ["a-done", "b-done"]
+
+    def test_memcpy_direction_bookkeeping(self):
+        from repro.instrument.traffic import TransferDirection
+
+        runtime = CudaRuntime(gpu=tiny_gpu())
+
+        def program(cuda):
+            cuda.memcpy_async(MIB, TransferDirection.HOST_TO_DEVICE)
+            cuda.memcpy_async(2 * MIB, TransferDirection.DEVICE_TO_HOST)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert runtime.driver.traffic.bytes_h2d == MIB
+        assert runtime.driver.traffic.bytes_d2h == 2 * MIB
+
+    def test_run_returns_elapsed(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+
+        def program(cuda):
+            yield cuda.env.timeout(2.5)
+
+        assert runtime.run(program) == pytest.approx(2.5)

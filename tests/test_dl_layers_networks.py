@@ -1,0 +1,149 @@
+"""Tests for the DL layer math and the four network specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+from repro.workloads.dl.layers import (
+    DTYPE_BYTES,
+    conv_layer,
+    fc_layer,
+    pool_layer,
+    rnn_layer,
+)
+from repro.workloads.dl.networks import (
+    darknet19,
+    resnet53,
+    rnn_shakespeare,
+    vgg16,
+)
+
+#: The paper's reported total CUDA allocations (§7.5).
+PAPER_TOTALS = {
+    "VGG-16": ((75, 12.0), (150, 21.1)),
+    "Darknet-19": ((171, 11.2), (360, 23.4)),
+    "ResNet-53": ((56, 10.8), (150, 28.5)),
+    "RNN": ((150, 10.2), (300, 20.0)),
+}
+
+ALL_NETWORKS = (vgg16, darknet19, resnet53, rnn_shakespeare)
+
+
+class TestLayerMath:
+    def test_conv_output_shape(self):
+        layer = conv_layer("c", 3, 64, 3, 224)
+        assert layer.output_bytes_per_sample == 64 * 224 * 224 * DTYPE_BYTES
+
+    def test_conv_strided_shrinks_output(self):
+        layer = conv_layer("c", 64, 128, 3, 224, stride=2)
+        assert layer.output_bytes_per_sample == 128 * 112 * 112 * DTYPE_BYTES
+
+    def test_conv_weights(self):
+        layer = conv_layer("c", 3, 64, 3, 224)
+        assert layer.weight_bytes == (3 * 3 * 3 * 64 + 64) * DTYPE_BYTES
+
+    def test_conv_backward_costs_twice_forward(self):
+        layer = conv_layer("c", 16, 32, 3, 56)
+        assert layer.bwd_flops_per_sample == pytest.approx(
+            2 * layer.fwd_flops_per_sample
+        )
+
+    def test_conv_stride_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conv_layer("c", 3, 8, 3, 225, stride=2)
+
+    def test_pool_halves_spatial(self):
+        layer = pool_layer("p", 64, 112)
+        assert layer.output_bytes_per_sample == 64 * 56 * 56 * DTYPE_BYTES
+        assert layer.weight_bytes == 0
+
+    def test_fc_sizes(self):
+        layer = fc_layer("fc", 4096, 1000)
+        assert layer.weight_bytes == (4096 * 1000 + 1000) * DTYPE_BYTES
+        assert layer.output_bytes_per_sample == 1000 * DTYPE_BYTES
+
+    def test_rnn_flops_per_byte_high(self):
+        """The compute-intensity that makes RNN the paper's outlier."""
+        recurrent = rnn_layer("r", 1024, 128)
+        convolution = conv_layer("c", 64, 64, 3, 112)
+        rnn_intensity = recurrent.fwd_flops_per_sample / recurrent.output_bytes_per_sample
+        conv_intensity = convolution.fwd_flops_per_sample / convolution.output_bytes_per_sample
+        assert rnn_intensity > 2 * conv_intensity
+
+
+class TestNetworkFootprints:
+    @pytest.mark.parametrize("factory", ALL_NETWORKS)
+    def test_totals_match_paper(self, factory):
+        """§7.5's reported allocations, within 5%."""
+        network = factory()
+        for batch, expected_gb in PAPER_TOTALS[network.name]:
+            total = network.total_bytes(batch) / GB
+            assert total == pytest.approx(expected_gb, rel=0.05), (
+                network.name,
+                batch,
+            )
+
+    @pytest.mark.parametrize("factory", ALL_NETWORKS)
+    def test_total_monotone_in_batch(self, factory):
+        network = factory()
+        totals = [network.total_bytes(b) for b in (1, 8, 64, 256)]
+        assert totals == sorted(totals)
+
+    @pytest.mark.parametrize("factory", ALL_NETWORKS)
+    def test_scaled_shrinks_proportionally(self, factory):
+        network = factory()
+        half = network.scaled(0.5)
+        assert half.total_bytes(64) == pytest.approx(
+            network.total_bytes(64) / 2, rel=0.02
+        )
+        full_fwd, _ = network.flops_per_sample()
+        half_fwd, _ = half.flops_per_sample()
+        assert half_fwd == pytest.approx(full_fwd / 2, rel=0.02)
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            vgg16().scaled(0)
+
+    def test_vgg16_has_16_weight_layers(self):
+        weighted = [l for l in vgg16().layers if l.weight_bytes > 0]
+        assert len(weighted) == 16
+
+    def test_vgg16_weights_are_138m_params(self):
+        assert vgg16().weight_bytes / DTYPE_BYTES == pytest.approx(138e6, rel=0.02)
+
+    def test_resnet53_has_53_conv_layers(self):
+        convs = [
+            l
+            for l in resnet53().layers
+            if l.weight_bytes > 0 and "classifier" not in l.name
+        ]
+        assert len(convs) == 52  # + the classifier = 53 weighted layers
+
+    def test_darknet19_has_19_conv_layers(self):
+        convs = [
+            l
+            for l in darknet19().layers
+            if l.weight_bytes > 0 and "classifier" not in l.name
+        ]
+        assert len(convs) == 18  # + the classifier = 19 weighted layers
+
+    def test_rnn_workspace_small(self):
+        network = rnn_shakespeare()
+        assert network.workspace_bytes(300) < network.gradients_bytes(300)
+
+    def test_gradients_buffer_sized_for_largest_output(self):
+        network = vgg16()
+        largest = max(l.output_bytes_per_sample for l in network.layers)
+        assert network.gradients_bytes(10) == int(
+            largest * 10 * network.activation_multiplier
+        )
+
+    def test_compute_intensity_ordering(self):
+        """RNN is compute-intensive; the CNNs are memory-intensive (§7.5.2)."""
+
+        def intensity(network):
+            fwd, bwd = network.flops_per_sample()
+            return (fwd + bwd) / network.per_sample_bytes
+
+        assert intensity(rnn_shakespeare()) > 2 * intensity(resnet53())
+        assert intensity(rnn_shakespeare()) > 2 * intensity(darknet19())

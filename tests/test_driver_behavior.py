@@ -1,0 +1,407 @@
+"""Behavioural tests of the UVM driver state machine.
+
+These drive the driver directly (no CUDA runtime on top) so every
+transition of Figures 1/2 and §5.3-§5.7 is observable in isolation.
+"""
+
+import pytest
+
+from repro.access import AccessMode
+from repro.driver import DiscardKind, UvmDriver, UvmDriverConfig, VaBlock
+from repro.driver.va_block import CPU
+from repro.engine import Environment
+from repro.errors import (
+    ConfigurationError,
+    DiscardSemanticsError,
+    OutOfMemoryError,
+    SimulationError,
+)
+from repro.instrument.traffic import TransferReason
+from repro.interconnect import pcie_gen4
+from repro.units import BIG_PAGE, MIB
+
+
+def make_driver(capacity_mib=8, **config_kwargs):
+    env = Environment()
+    driver = UvmDriver(env, pcie_gen4(), UvmDriverConfig(**config_kwargs))
+    driver.register_gpu("gpu0", capacity_mib * MIB)
+    return env, driver
+
+
+def make_blocks(driver, count, start_index=1000):
+    blocks = [VaBlock(start_index + i, BIG_PAGE) for i in range(count)]
+    driver.register_blocks(blocks)
+    return blocks
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def populate_cpu(env, driver, blocks):
+    """Host first-touch + write, making the blocks live CPU data."""
+    run(env, driver.make_resident_cpu(blocks, TransferReason.FAULT_MIGRATION, True))
+    for block in blocks:
+        driver.note_access(block, AccessMode.WRITE)
+
+
+class TestRegistration:
+    def test_duplicate_gpu_rejected(self):
+        env, driver = make_driver()
+        with pytest.raises(ConfigurationError):
+            driver.register_gpu("gpu0", MIB)
+
+    def test_cpu_name_reserved(self):
+        env, driver = make_driver()
+        with pytest.raises(ConfigurationError):
+            driver.register_gpu(CPU, MIB)
+
+    def test_unknown_gpu_rejected(self):
+        env, driver = make_driver()
+        with pytest.raises(ConfigurationError):
+            driver.gpu_queues("gpu9")
+
+    def test_block_double_registration_rejected(self):
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 1)
+        with pytest.raises(SimulationError):
+            driver.register_blocks(blocks)
+
+    def test_unregistered_block_lookup_rejected(self):
+        env, driver = make_driver()
+        with pytest.raises(SimulationError):
+            driver.block(42)
+
+
+class TestResidency:
+    def test_first_touch_gpu_zero_fills_without_traffic(self):
+        """Figure 1 ② via prefetch of never-touched memory."""
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 2)
+        run(env, driver.prefetch(blocks, "gpu0"))
+        for block in blocks:
+            assert block.residency == "gpu0"
+            assert block.populated  # defined zeros
+            assert driver.gpu_page_table("gpu0").is_mapped(block.index)
+        assert driver.traffic.total_bytes == 0
+        assert driver.counters["zeroed_blocks"] == 2
+
+    def test_cpu_to_gpu_migration_moves_data(self):
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 3)
+        populate_cpu(env, driver, blocks)
+        run(env, driver.prefetch(blocks, "gpu0"))
+        assert driver.traffic.bytes_h2d == 3 * BIG_PAGE
+        for block in blocks:
+            assert block.residency == "gpu0"
+            # Exclusive mapping (§2.2): the CPU PTE is gone.
+            assert not driver.cpu_page_table.is_mapped(block.index)
+
+    def test_gpu_to_cpu_fault_migration(self):
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 2)
+        run(env, driver.prefetch(blocks, "gpu0"))
+        for block in blocks:
+            driver.note_access(block, AccessMode.WRITE)
+        run(
+            env,
+            driver.make_resident_cpu(
+                blocks, TransferReason.FAULT_MIGRATION, charge_faults=True
+            ),
+        )
+        assert driver.traffic.bytes_d2h == 2 * BIG_PAGE
+        for block in blocks:
+            assert block.on_cpu
+            assert driver.cpu_page_table.is_mapped(block.index)
+            assert not driver.gpu_page_table("gpu0").is_mapped(block.index)
+        assert driver.counters["cpu_faulted_blocks"] == 2
+
+    def test_fault_handler_costs_time(self):
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 4)
+        before = env.now
+        run(env, driver.handle_gpu_faults("gpu0", blocks))
+        assert env.now > before
+        assert driver.counters["gpu_fault_batches"] == 1
+        assert driver.counters["gpu_faulted_blocks"] == 4
+
+    def test_empty_fault_batch_is_free(self):
+        env, driver = make_driver()
+        run(env, driver.handle_gpu_faults("gpu0", []))
+        assert driver.counters["gpu_fault_batches"] == 0
+
+    def test_prefetch_of_resident_blocks_updates_recency_only(self):
+        """§7.5.1: the pure-overhead prefetch."""
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 2)
+        run(env, driver.prefetch(blocks, "gpu0"))
+        zeroed = driver.counters["zeroed_blocks"]
+        run(env, driver.prefetch(blocks, "gpu0"))
+        assert driver.counters["prefetch_recency_only"] == 2
+        assert driver.counters["zeroed_blocks"] == zeroed
+        assert driver.traffic.total_bytes == 0
+
+    def test_gpu_needs_fault(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        assert driver.gpu_needs_fault("gpu0", block)
+        run(env, driver.prefetch([block], "gpu0"))
+        assert not driver.gpu_needs_fault("gpu0", block)
+
+
+class TestEviction:
+    def test_lru_block_evicted_under_pressure(self):
+        env, driver = make_driver(capacity_mib=4)  # 2 frames
+        blocks = make_blocks(driver, 3)
+        for block in blocks:
+            run(env, driver.prefetch([block], "gpu0"))
+            driver.note_access(block, AccessMode.WRITE)
+        # The first block was LRU and got swapped to the host.
+        assert blocks[0].on_cpu
+        assert blocks[1].residency == "gpu0"
+        assert blocks[2].residency == "gpu0"
+        assert driver.traffic.bytes_d2h == BIG_PAGE
+        assert driver.counters["evicted_blocks"] == 1
+
+    def test_eviction_prefers_unused_frames(self):
+        env, driver = make_driver(capacity_mib=4)
+        first = make_blocks(driver, 2, start_index=100)
+        run(env, driver.prefetch(first, "gpu0"))
+        driver.release_blocks(first)  # frames go to the unused queue
+        second = make_blocks(driver, 2, start_index=200)
+        run(env, driver.prefetch(second, "gpu0"))
+        assert driver.counters["evicted_blocks"] == 0
+        assert driver.traffic.total_bytes == 0
+
+    def test_discarded_reclaimed_before_used(self):
+        """§5.5: eviction order unused -> discarded -> LRU."""
+        env, driver = make_driver(capacity_mib=4)
+        keep, dead = make_blocks(driver, 2)
+        run(env, driver.prefetch([keep, dead], "gpu0"))
+        driver.note_access(keep, AccessMode.WRITE)
+        driver.note_access(dead, AccessMode.WRITE)
+        driver.discard_block_eager(dead)
+        (newcomer,) = make_blocks(driver, 1, start_index=500)
+        run(env, driver.prefetch([newcomer], "gpu0"))
+        # 'keep' is older in LRU terms but survives: the discarded block
+        # was reclaimed instead, with no transfer.
+        assert keep.residency == "gpu0"
+        assert dead.residency is None
+        assert driver.traffic.total_bytes == 0
+        assert driver.counters["evicted_discarded_blocks"] == 1
+
+    def test_oversubscribing_prefetch_streams_through(self):
+        """A prefetch larger than the GPU never OOMs: the range streams
+        through one chunk at a time (UVM's defining property)."""
+        env, driver = make_driver(capacity_mib=2)  # a single frame
+        blocks = make_blocks(driver, 3)
+        run(env, driver.prefetch(blocks, "gpu0"))
+        # Only the last block is still resident; earlier ones were
+        # evicted to make room as the range streamed through.
+        assert blocks[-1].residency == "gpu0"
+        assert blocks[0].on_cpu
+        assert driver.counters["evicted_blocks"] == 2
+
+    def test_device_side_allocation_exhaustion_raises(self):
+        """Explicit reservations (cudaMalloc) still fail hard."""
+        env, driver = make_driver(capacity_mib=2)
+        with pytest.raises(OutOfMemoryError):
+            driver.reserve_gpu_memory("gpu0", 4 * MIB)
+
+    def test_reserve_and_release_gpu_memory(self):
+        env, driver = make_driver(capacity_mib=8)
+        driver.reserve_gpu_memory("gpu0", 4 * MIB)
+        assert driver.gpu_free_bytes("gpu0") == 4 * MIB
+        driver.release_gpu_memory("gpu0", 4 * MIB)
+        assert driver.gpu_free_bytes("gpu0") == 8 * MIB
+
+
+class TestEagerDiscard:
+    def test_unmaps_and_queues(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        cost = driver.discard_block_eager(block)
+        assert cost > 0
+        assert block.discarded and block.discard_kind is DiscardKind.EAGER
+        assert not driver.gpu_page_table("gpu0").is_mapped(block.index)
+        assert block in driver.gpu_queues("gpu0").discarded
+        assert driver.gpu_needs_fault("gpu0", block)
+
+    def test_revival_on_refault(self):
+        """§5.7: access-after-discard revives the frame, no zeroing."""
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        driver.discard_block_eager(block)
+        zeroed = driver.counters["zeroed_blocks"]
+        run(env, driver.handle_gpu_faults("gpu0", [block]))
+        assert not block.discarded
+        assert block.residency == "gpu0"
+        assert block in driver.gpu_queues("gpu0").used
+        assert driver.counters["discard_revivals"] == 1
+        assert driver.counters["zeroed_blocks"] == zeroed  # frame prepared
+
+    def test_revival_zeroes_unprepared_frame(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        driver.discard_block_eager(block)
+        block.frame.prepared = False  # partial-population case (§5.7)
+        zeroed = driver.counters["zeroed_blocks"]
+        run(env, driver.handle_gpu_faults("gpu0", [block]))
+        assert driver.counters["zeroed_blocks"] == zeroed + 1
+        assert block.frame.prepared
+
+    def test_discard_on_cpu_resident_skips_future_transfer(self):
+        """§5.3 second scenario: no H2D transfer when re-populated."""
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        populate_cpu(env, driver, [block])
+        driver.discard_block_eager(block)
+        run(env, driver.prefetch([block], "gpu0"))
+        assert driver.traffic.total_bytes == 0  # zero-filled, not migrated
+        assert block.residency == "gpu0"
+        assert not block.discarded
+
+    def test_discard_never_touched_block(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        cost = driver.discard_block_eager(block)
+        assert block.discarded
+        assert cost >= 0
+
+    def test_immediate_reclaim_ablation(self):
+        env, driver = make_driver(discarded_queue_enabled=False)
+        (block,) = make_blocks(driver, 1)
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        driver.discard_block_eager(block)
+        assert block.residency is None
+        assert block.frame is None
+        assert len(driver.gpu_queues("gpu0").discarded) == 0
+
+
+class TestLazyDiscard:
+    def _discarded_block(self, env, driver):
+        (block,) = make_blocks(driver, 1)
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        driver.discard_block_lazy(block)
+        return block
+
+    def test_keeps_mapping(self):
+        """§5.2: no eager unmapping — the key cost difference."""
+        env, driver = make_driver()
+        block = self._discarded_block(env, driver)
+        assert block.discarded and block.discard_kind is DiscardKind.LAZY
+        assert not block.sw_dirty
+        assert driver.gpu_page_table("gpu0").is_mapped(block.index)
+        assert not driver.gpu_needs_fault("gpu0", block)
+        assert block in driver.gpu_queues("gpu0").discarded
+
+    def test_cheaper_than_eager(self):
+        env, driver = make_driver()
+        a, b = make_blocks(driver, 2)
+        run(env, driver.prefetch([a, b], "gpu0"))
+        driver.note_access(a, AccessMode.WRITE)
+        driver.note_access(b, AccessMode.WRITE)
+        assert driver.discard_block_lazy(a) < driver.discard_block_eager(b)
+
+    def test_prefetch_sets_dirty_bit_and_revives(self):
+        """§5.2: the mandatory prefetch notification."""
+        env, driver = make_driver()
+        block = self._discarded_block(env, driver)
+        run(env, driver.prefetch([block], "gpu0"))
+        assert not block.discarded
+        assert block.sw_dirty
+        assert block in driver.gpu_queues("gpu0").used
+        assert driver.counters["discard_revivals"] == 1
+        assert driver.traffic.total_bytes == 0
+
+    def test_reclaim_pays_deferred_unmap(self):
+        """§5.6: reclamation of a lazy block sends the unmap request."""
+        env, driver = make_driver(capacity_mib=4)
+        block = self._discarded_block(env, driver)
+        unmaps_before = driver.gpu_page_table("gpu0").unmap_count
+        fillers = make_blocks(driver, 2, start_index=600)
+        run(env, driver.prefetch(fillers, "gpu0"))
+        assert block.residency is None
+        assert driver.gpu_page_table("gpu0").unmap_count == unmaps_before + 1
+        assert driver.counters["evicted_discarded_blocks"] == 1
+
+    def test_misuse_detected_on_reclaim(self):
+        """§5.2: re-purposing without the prefetch loses the new data."""
+        env, driver = make_driver(capacity_mib=4)
+        block = self._discarded_block(env, driver)
+        # Program writes again WITHOUT the prefetch: the driver can't see.
+        driver.note_access(block, AccessMode.WRITE)
+        fillers = make_blocks(driver, 2, start_index=700)
+        run(env, driver.prefetch(fillers, "gpu0"))
+        assert driver.counters["lazy_misuses"] == 1
+        assert driver.oracle.corruption_count == 1
+
+    def test_strict_mode_raises_on_misuse(self):
+        env, driver = make_driver(capacity_mib=4, strict_lazy=True)
+        block = self._discarded_block(env, driver)
+        driver.note_access(block, AccessMode.WRITE)
+        fillers = make_blocks(driver, 2, start_index=800)
+        with pytest.raises(DiscardSemanticsError):
+            run(env, driver.prefetch(fillers, "gpu0"))
+
+    def test_correct_use_never_misuses(self):
+        env, driver = make_driver(capacity_mib=4)
+        block = self._discarded_block(env, driver)
+        run(env, driver.prefetch([block], "gpu0"))  # mandatory notification
+        driver.note_access(block, AccessMode.WRITE)
+        fillers = make_blocks(driver, 2, start_index=900)
+        run(env, driver.prefetch(fillers, "gpu0"))
+        assert driver.counters["lazy_misuses"] == 0
+        # The block held live data, so eviction transferred it out.
+        assert block.on_cpu
+        assert driver.traffic.bytes_d2h == BIG_PAGE
+
+
+class TestReleaseBlocks:
+    def test_release_resolves_rmt_and_recycles_frames(self):
+        env, driver = make_driver()
+        blocks = make_blocks(driver, 2)
+        populate_cpu(env, driver, blocks)
+        run(env, driver.prefetch(blocks, "gpu0"))
+        driver.release_blocks(blocks)
+        driver.finalize()
+        # The migrated data was never read: transfers were redundant.
+        assert driver.rmt.redundant_bytes == 2 * BIG_PAGE
+        assert len(driver.gpu_queues("gpu0").unused) == 2
+        for block in blocks:
+            assert block.residency is None
+
+
+class TestNoteAccess:
+    def test_read_marks_useful(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        populate_cpu(env, driver, [block])
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.READ)
+        assert driver.rmt.useful_bytes == BIG_PAGE
+
+    def test_overwrite_marks_redundant(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        populate_cpu(env, driver, [block])
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        assert driver.rmt.redundant_bytes == BIG_PAGE
+
+    def test_readwrite_marks_useful(self):
+        env, driver = make_driver()
+        (block,) = make_blocks(driver, 1)
+        populate_cpu(env, driver, [block])
+        run(env, driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.READWRITE)
+        assert driver.rmt.useful_bytes == BIG_PAGE
+        assert block.version == 2  # host write + RMW

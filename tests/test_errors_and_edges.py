@@ -1,0 +1,116 @@
+"""Error-hierarchy tests plus engine/driver edge cases."""
+
+import pytest
+
+from repro import errors
+from repro.engine import Environment
+from repro.engine.core import AllOf
+
+
+class TestErrorHierarchy:
+    ALL = (
+        errors.SimulationError,
+        errors.OutOfMemoryError,
+        errors.InvalidAddressError,
+        errors.MappingError,
+        errors.StreamError,
+        errors.DiscardSemanticsError,
+        errors.DataCorruptionError,
+        errors.ConfigurationError,
+    )
+
+    @pytest.mark.parametrize("exc", ALL)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OutOfMemoryError("full")
+
+    def test_distinct_types(self):
+        assert len(set(self.ALL)) == len(self.ALL)
+
+
+class TestAllOfEdgeCases:
+    def test_failure_propagates(self):
+        env = Environment()
+        good = env.timeout(1.0)
+        bad = env.event()
+
+        def trigger():
+            yield env.timeout(0.5)
+            bad.fail(ValueError("child failed"))
+
+        def waiter():
+            yield AllOf(env, [good, bad])
+
+        env.process(trigger())
+        env.process(waiter())
+        with pytest.raises(ValueError, match="child failed"):
+            env.run()
+
+    def test_already_fired_children(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        env.run()  # process the trigger
+        seen = {}
+
+        def waiter():
+            seen["values"] = yield AllOf(env, [done])
+
+        env.process(waiter())
+        env.run()
+        assert seen["values"] == ["early"]
+
+
+class TestEventStateQueries:
+    def test_ok_and_triggered(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        event.succeed(1)
+        assert event.triggered and event.ok
+
+    def test_failed_event_not_ok(self):
+        env = Environment()
+        event = env.event()
+        try:
+            event.fail(RuntimeError("x"))
+        except RuntimeError:
+            pass
+        assert event.triggered and not event.ok
+        assert isinstance(event.exception, RuntimeError)
+
+    def test_process_is_alive(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(1.0)
+
+        process = env.process(body())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+
+class TestRuntimeMisc:
+    def test_nested_child_chain(self):
+        """Deeply nested process composition resolves correctly."""
+        env = Environment()
+
+        def leaf(depth):
+            yield env.timeout(0.1)
+            return depth
+
+        def nest(depth):
+            if depth == 0:
+                result = yield env.process(leaf(0))
+                return result
+            result = yield env.process(nest(depth - 1))
+            return result + 1
+
+        result = env.run(until=env.process(nest(20)))
+        assert result == 20
+        assert env.now == pytest.approx(0.1)

@@ -1,0 +1,82 @@
+"""Tests for the used-queue eviction policy knob (lru vs fifo)."""
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.driver.config import UvmDriverConfig
+from repro.units import MIB
+
+
+def run_reuse(policy: str):
+    """Two buffers; A is re-touched before pressure arrives."""
+    config = UvmDriverConfig(eviction_policy=policy)
+    runtime = CudaRuntime(gpu=tiny_gpu(16), driver_config=config)
+    a = runtime.malloc_managed(6 * MIB, "a")
+    b = runtime.malloc_managed(6 * MIB, "b")
+    c = runtime.malloc_managed(6 * MIB, "c")
+
+    def program(cuda):
+        cuda.prefetch_async(a)
+        cuda.prefetch_async(b)
+        cuda.prefetch_async(a)  # refresh A's recency
+        cuda.prefetch_async(c)  # pressure: someone must go
+        yield from cuda.synchronize()
+
+    runtime.run(program)
+    return a, b, c
+
+
+class TestEvictionPolicy:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UvmDriverConfig(eviction_policy="random").validate()
+
+    def test_lru_protects_recently_touched(self):
+        a, b, c = run_reuse("lru")
+        # B was least recently used: it went, A stayed.
+        assert a.blocks[0].residency == "gpu0"
+        assert b.blocks[0].residency != "gpu0"
+
+    def test_fifo_evicts_insertion_order(self):
+        a, b, c = run_reuse("fifo")
+        # FIFO ignores A's refresh: A was inserted first, A goes.
+        assert a.blocks[0].residency != "gpu0"
+        assert b.blocks[0].residency == "gpu0"
+
+    def test_lru_beats_fifo_on_reuse_workload(self):
+        """Recency matters for backward passes re-reading recent layers."""
+
+        def sweep(policy):
+            config = UvmDriverConfig(eviction_policy=policy)
+            runtime = CudaRuntime(gpu=tiny_gpu(32), driver_config=config)
+            buffer = runtime.malloc_managed(40 * MIB, "acts")
+
+            def program(cuda):
+                yield from cuda.host_write(buffer)
+                cuda.begin_measurement()
+                # Forward sweep then reverse re-read (like fwd + bwd).
+                cuda.launch(
+                    KernelSpec(
+                        "fwd",
+                        [BufferAccess(buffer, AccessMode.READWRITE)],
+                        flops=1e7,
+                        waves=10,
+                    )
+                )
+                cuda.launch(
+                    KernelSpec(
+                        "bwd",
+                        [BufferAccess(buffer, AccessMode.READ)],
+                        flops=1e7,
+                        waves=10,
+                    )
+                )
+                yield from cuda.synchronize()
+
+            runtime.run(program)
+            return runtime.driver.traffic.total_bytes
+
+        # Both policies move data; LRU never does worse here.
+        assert sweep("lru") <= sweep("fifo")

@@ -1,0 +1,220 @@
+"""Tests for access patterns and the kernel executor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.cuda.kernel import access, launch_bounds
+from repro.driver.va_block import VaBlock
+from repro.errors import ConfigurationError
+from repro.gpu.access import IrregularPattern, SequentialPattern, StridedPattern
+from repro.units import BIG_PAGE, MIB
+
+from conftest import tiny_gpu
+
+
+def blocks(n):
+    return [VaBlock(i, BIG_PAGE) for i in range(n)]
+
+
+class TestSequentialPattern:
+    def test_chunks_cover_all_blocks_once(self):
+        pattern = SequentialPattern()
+        items = blocks(10)
+        waves = pattern.waves(items, 3)
+        assert len(waves) == 3
+        flat = [b for wave in waves for b in wave]
+        assert flat == items  # order preserved, each once
+
+    def test_more_waves_than_blocks(self):
+        waves = SequentialPattern().waves(blocks(2), 5)
+        assert len(waves) == 5
+        assert sum(len(w) for w in waves) == 2
+
+    def test_empty_blocks(self):
+        waves = SequentialPattern().waves([], 3)
+        assert waves == [[], [], []]
+
+    def test_invalid_wave_count(self):
+        with pytest.raises(ConfigurationError):
+            SequentialPattern().waves(blocks(2), 0)
+
+
+class TestStridedPattern:
+    def test_each_wave_spans_buffer(self):
+        items = blocks(9)
+        waves = StridedPattern().waves(items, 3)
+        assert [b.index for b in waves[0]] == [0, 3, 6]
+        assert [b.index for b in waves[1]] == [1, 4, 7]
+        flat = sorted(b.index for wave in waves for b in wave)
+        assert flat == list(range(9))
+
+
+class TestIrregularPattern:
+    def test_touches_each_block_per_pass(self):
+        items = blocks(8)
+        pattern = IrregularPattern(passes=3, seed=1)
+        waves = pattern.waves(items, 4)
+        flat = [b.index for wave in waves for b in wave]
+        assert len(flat) == 24
+        for index in range(8):
+            assert flat.count(index) == 3
+
+    def test_deterministic_for_seed(self):
+        items = blocks(16)
+        a = IrregularPattern(passes=2, seed=7).waves(items, 4)
+        b = IrregularPattern(passes=2, seed=7).waves(items, 4)
+        assert [[blk.index for blk in w] for w in a] == [
+            [blk.index for blk in w] for w in b
+        ]
+
+    def test_different_seeds_differ(self):
+        items = blocks(32)
+        a = IrregularPattern(seed=1).waves(items, 1)
+        b = IrregularPattern(seed=2).waves(items, 1)
+        assert [x.index for x in a[0]] != [x.index for x in b[0]]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IrregularPattern(passes=0)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_coverage_property(self, nblocks, waves, passes):
+        items = blocks(nblocks)
+        produced = IrregularPattern(passes=passes, seed=3).waves(items, waves)
+        flat = [b.index for wave in produced for b in wave]
+        assert sorted(set(flat)) == list(range(nblocks))
+        assert len(flat) == nblocks * passes
+
+
+class TestKernelSpec:
+    def test_compute_seconds_from_flops(self):
+        kernel = KernelSpec("k", [], flops=2e12)
+        assert kernel.compute_seconds(1e12) == pytest.approx(2.0)
+
+    def test_duration_overrides_flops(self):
+        kernel = KernelSpec("k", [], flops=1e12, duration=0.5)
+        assert kernel.compute_seconds(1e12) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KernelSpec("k", [], waves=0)
+        with pytest.raises(ConfigurationError):
+            KernelSpec("k", [], flops=-1)
+        with pytest.raises(ConfigurationError):
+            KernelSpec("k", [], flops=1).compute_seconds(0)
+
+    def test_access_helper_and_launch_bounds(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        buffer = runtime.malloc_managed(4 * MIB)
+        spec = KernelSpec("k", [access(buffer, AccessMode.READ)])
+        assert launch_bounds(spec) == 4 * MIB
+        partial = KernelSpec(
+            "k2", [access(buffer, AccessMode.READ, buffer.subrange(0, MIB))]
+        )
+        assert launch_bounds(partial) == MIB
+
+
+class TestExecutor:
+    def test_kernel_serialization_on_sm_engine(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        a = runtime.create_stream("a")
+        b = runtime.create_stream("b")
+        buffer = runtime.malloc_managed(2 * MIB)
+        kernel = KernelSpec(
+            "k", [BufferAccess(buffer, AccessMode.WRITE)], duration=1.0
+        )
+
+        def program(cuda):
+            cuda.launch(kernel, stream=a)
+            cuda.launch(kernel, stream=b)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        # Two streams, but one SM engine: kernels serialized.
+        assert runtime.elapsed >= 2.0
+
+    def test_fault_stall_accounted(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        buffer = runtime.malloc_managed(16 * MIB)
+        kernel = KernelSpec(
+            "k", [BufferAccess(buffer, AccessMode.WRITE)], duration=0.001, waves=4
+        )
+
+        def program(cuda):
+            cuda.launch(kernel)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert runtime.executor.fault_stall_seconds > 0
+        assert runtime.driver.counters["gpu_fault_batches"] == 4
+
+    def test_prefetched_kernel_has_no_faults(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        buffer = runtime.malloc_managed(16 * MIB)
+        kernel = KernelSpec(
+            "k", [BufferAccess(buffer, AccessMode.WRITE)], duration=0.001, waves=4
+        )
+
+        def program(cuda):
+            cuda.prefetch_async(buffer)
+            yield from cuda.synchronize()
+            cuda.launch(kernel)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert runtime.driver.counters["gpu_fault_batches"] == 0
+        assert runtime.executor.fault_stall_seconds == 0
+
+    def test_functional_kernel_body_runs(self):
+        import numpy as np
+
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        array = np.zeros(1024, dtype=np.float32)
+        buffer = runtime.malloc_managed(array.nbytes, array=array)
+
+        def fill():
+            buffer.array[:] = 7.0
+
+        kernel = KernelSpec(
+            "fill", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e3, fn=fill
+        )
+
+        def program(cuda):
+            cuda.launch(kernel)
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert (array == 7.0).all()
+
+    def test_thrashing_emerges_when_working_set_exceeds_memory(self):
+        runtime = CudaRuntime(gpu=tiny_gpu(memory_mib=16))
+        buffer = runtime.malloc_managed(32 * MIB)
+
+        def program(cuda):
+            yield from cuda.host_write(buffer)
+            for i in range(2):
+                cuda.launch(
+                    KernelSpec(
+                        f"k{i}",
+                        [
+                            BufferAccess(
+                                buffer,
+                                AccessMode.READWRITE,
+                                pattern=IrregularPattern(passes=2, seed=i),
+                            )
+                        ],
+                        duration=0.001,
+                        waves=8,
+                    )
+                )
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        # Far more bytes moved than the buffer holds: thrashing.
+        assert runtime.driver.traffic.total_bytes > 2 * buffer.nbytes

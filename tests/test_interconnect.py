@@ -1,0 +1,95 @@
+"""Tests for the interconnect bandwidth models (Figure 4's substrate)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    Link,
+    TransferDirection,
+    nvlink_gen3,
+    pcie_gen3,
+    pcie_gen4,
+)
+from repro.units import BIG_PAGE, GB, KIB, MIB
+
+
+class TestLink:
+    def test_effective_bandwidth_half_saturation(self):
+        link = Link("test", peak_bandwidth=10 * GB, half_size=128 * KIB)
+        assert link.effective_bandwidth(128 * KIB) == pytest.approx(5 * GB)
+
+    def test_effective_bandwidth_approaches_peak(self):
+        link = Link("test", peak_bandwidth=10 * GB, half_size=128 * KIB)
+        assert link.effective_bandwidth(1 * GB) > 0.99 * 10 * GB
+
+    def test_transfer_time_includes_latency(self):
+        link = Link("test", peak_bandwidth=10 * GB, latency=5e-6)
+        assert link.transfer_time(0) == 0.0
+        tiny = link.transfer_time(1)
+        assert tiny > 5e-6
+
+    def test_transfer_time_monotone_in_size(self):
+        link = pcie_gen4()
+        sizes = [4 * KIB, 64 * KIB, MIB, 16 * MIB, 256 * MIB]
+        times = [link.transfer_time(s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_default_chunk_capped_at_big_page(self):
+        link = pcie_gen4()
+        # A 1 GiB transfer coalesced at 2 MiB chunks matches explicit.
+        assert link.transfer_time(512 * BIG_PAGE) == pytest.approx(
+            link.transfer_time(512 * BIG_PAGE, chunk=BIG_PAGE)
+        )
+
+    def test_measured_throughput_below_peak(self):
+        link = pcie_gen4()
+        assert link.measured_throughput(GB) < link.peak_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("bad", peak_bandwidth=0)
+        with pytest.raises(ValueError):
+            Link("bad", peak_bandwidth=1, half_size=0)
+        with pytest.raises(ValueError):
+            Link("bad", peak_bandwidth=1, latency=-1)
+        link = pcie_gen4()
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+        with pytest.raises(ValueError):
+            link.effective_bandwidth(0)
+
+    @given(st.integers(min_value=1, max_value=2**34))
+    def test_throughput_never_exceeds_peak(self, nbytes):
+        link = pcie_gen4()
+        assert link.measured_throughput(nbytes) < link.peak_bandwidth
+
+    @given(
+        st.integers(min_value=4 * KIB, max_value=2**30),
+        st.integers(min_value=4 * KIB, max_value=2**30),
+    )
+    def test_bigger_chunks_never_slower(self, a, b):
+        link = pcie_gen3()
+        small, big = sorted((a, b))
+        assert link.effective_bandwidth(big) >= link.effective_bandwidth(small)
+
+
+class TestPresets:
+    def test_pcie4_doubles_pcie3(self):
+        assert pcie_gen4().peak_bandwidth == pytest.approx(
+            2 * pcie_gen3().peak_bandwidth, rel=0.01
+        )
+
+    def test_pcie4_peak_is_paper_value(self):
+        """§7.1: 'PCIe-4 throughput is bottlenecked at 25GB/s'."""
+        assert pcie_gen4().peak_bandwidth == 25 * GB
+
+    def test_nvlink_faster_than_pcie(self):
+        assert nvlink_gen3().peak_bandwidth > pcie_gen4().peak_bandwidth
+        assert nvlink_gen3().latency < pcie_gen4().latency
+
+
+class TestTransferDirection:
+    def test_shorthand(self):
+        assert TransferDirection.HOST_TO_DEVICE.short == "h2d"
+        assert TransferDirection.DEVICE_TO_HOST.short == "d2h"

@@ -1,0 +1,150 @@
+"""Tests for the physical-memory substrate (frames, zero-fill model)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.memsim import Frame, FrameAllocator, ZeroFillModel
+from repro.units import BIG_PAGE, GB, MIB
+
+
+class TestFrameAllocator:
+    def test_capacity_in_frames(self):
+        allocator = FrameAllocator("gpu0", 64 * MIB)
+        assert allocator.capacity_frames == 32
+        assert allocator.free_frames == 32
+        assert allocator.used_frames == 0
+
+    def test_allocate_and_free_round_trip(self):
+        allocator = FrameAllocator("gpu0", 8 * MIB)
+        frames = [allocator.allocate() for _ in range(4)]
+        assert allocator.free_frames == 0
+        assert allocator.used_bytes == 8 * MIB
+        for frame in frames:
+            allocator.free(frame)
+        assert allocator.free_frames == 4
+
+    def test_exhaustion_raises(self):
+        allocator = FrameAllocator("gpu0", 2 * MIB)
+        allocator.allocate()
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate()
+
+    def test_double_free_rejected(self):
+        allocator = FrameAllocator("gpu0", 4 * MIB)
+        frame = allocator.allocate()
+        allocator.free(frame)
+        with pytest.raises(SimulationError):
+            allocator.free(frame)
+
+    def test_cross_owner_free_rejected(self):
+        a = FrameAllocator("gpu0", 4 * MIB)
+        b = FrameAllocator("gpu1", 4 * MIB)
+        frame = a.allocate()
+        with pytest.raises(SimulationError):
+            b.free(frame)
+
+    def test_frame_indices_unique(self):
+        allocator = FrameAllocator("gpu0", 16 * MIB)
+        frames = [allocator.allocate() for _ in range(8)]
+        assert len({f.index for f in frames}) == 8
+
+    def test_freed_frame_resets_prepared(self):
+        allocator = FrameAllocator("gpu0", 4 * MIB)
+        frame = allocator.allocate()
+        frame.prepared = True
+        allocator.free(frame)
+        assert not frame.prepared
+        assert not frame.allocated
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator("gpu0", -1)
+
+    def test_reserve_shrinks_capacity(self):
+        allocator = FrameAllocator("gpu0", 16 * MIB)
+        allocator.reserve(4)
+        assert allocator.capacity_frames == 4
+        assert allocator.free_frames == 4
+        with pytest.raises(OutOfMemoryError):
+            allocator.reserve(5)
+
+    def test_unreserve_restores_capacity(self):
+        allocator = FrameAllocator("gpu0", 16 * MIB)
+        allocator.reserve(6)
+        allocator.unreserve(6)
+        assert allocator.capacity_frames == 8
+        assert allocator.free_frames == 8
+
+    def test_reserve_validation(self):
+        allocator = FrameAllocator("gpu0", 4 * MIB)
+        with pytest.raises(ValueError):
+            allocator.reserve(-1)
+        with pytest.raises(ValueError):
+            allocator.unreserve(-1)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_free_count_invariant(self, actions):
+        """free + used == capacity after any alloc/free sequence."""
+        allocator = FrameAllocator("gpu0", 32 * MIB)
+        live = []
+        for do_alloc in actions:
+            if do_alloc:
+                try:
+                    live.append(allocator.allocate())
+                except OutOfMemoryError:
+                    assert allocator.free_frames == 0
+            elif live:
+                allocator.free(live.pop())
+            assert allocator.free_frames + allocator.used_frames == (
+                allocator.capacity_frames
+            )
+            assert allocator.used_frames == len(live)
+
+
+class TestFrame:
+    def test_initial_state(self):
+        frame = Frame("gpu0", 7)
+        assert frame.owner == "gpu0"
+        assert frame.index == 7
+        assert frame.allocated
+        assert not frame.prepared
+
+
+class TestZeroFillModel:
+    def test_zero_time_scales_with_bytes(self):
+        model = ZeroFillModel(bandwidth=100 * GB, command_overhead=0.0)
+        assert model.zero_time(100 * GB) == pytest.approx(1.0)
+
+    def test_command_overhead_per_chunk(self):
+        model = ZeroFillModel(bandwidth=1e30, command_overhead=1e-6)
+        # 8 MiB in 2 MiB chunks = 4 commands.
+        assert model.zero_time(8 * MIB) == pytest.approx(4e-6)
+
+    def test_zero_bytes_is_free(self):
+        assert ZeroFillModel().zero_time(0) == 0.0
+
+    def test_block_zero_time_matches_zero_time(self):
+        model = ZeroFillModel()
+        assert model.block_zero_time() == pytest.approx(
+            model.zero_time(BIG_PAGE, BIG_PAGE)
+        )
+
+    def test_bigger_chunks_are_cheaper(self):
+        """The §5.4 motivation: large contiguous zeroing wins."""
+        model = ZeroFillModel()
+        coarse = model.zero_time(64 * MIB, chunk=BIG_PAGE)
+        fine = model.zero_time(64 * MIB, chunk=4096)
+        assert coarse < fine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZeroFillModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            ZeroFillModel(command_overhead=-1)
+        model = ZeroFillModel()
+        with pytest.raises(ValueError):
+            model.zero_time(-1)
+        with pytest.raises(ValueError):
+            model.zero_time(100, chunk=0)

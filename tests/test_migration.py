@@ -1,0 +1,186 @@
+"""Tests for the migration engine: coalescing, engines, peer transfers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.driver.migration import CopyEngines, MigrationEngine, coalesce_spans
+from repro.driver.va_block import VaBlock
+from repro.engine import Environment
+from repro.instrument.rmt import RmtClassifier
+from repro.instrument.traffic import TrafficRecorder, TransferDirection, TransferReason
+from repro.interconnect import nvlink_gen3, pcie_gen4
+from repro.units import BIG_PAGE
+
+
+def blocks_at(indices):
+    return [VaBlock(i, BIG_PAGE) for i in indices]
+
+
+class TestCoalesceSpans:
+    def test_contiguous_single_span(self):
+        spans = coalesce_spans(blocks_at([3, 4, 5]))
+        assert len(spans) == 1
+        assert [b.index for b in spans[0]] == [3, 4, 5]
+
+    def test_gaps_split_spans(self):
+        spans = coalesce_spans(blocks_at([1, 2, 5, 6, 9]))
+        assert [[b.index for b in s] for s in spans] == [[1, 2], [5, 6], [9]]
+
+    def test_unsorted_input_sorted(self):
+        spans = coalesce_spans(blocks_at([5, 3, 4]))
+        assert [b.index for b in spans[0]] == [3, 4, 5]
+
+    def test_empty(self):
+        assert coalesce_spans([]) == []
+
+    @given(st.sets(st.integers(min_value=0, max_value=200), max_size=60))
+    def test_partition_property(self, indices):
+        spans = coalesce_spans(blocks_at(sorted(indices)))
+        flat = [b.index for s in spans for b in s]
+        assert flat == sorted(indices)
+        for span in spans:
+            ids = [b.index for b in span]
+            assert ids == list(range(ids[0], ids[0] + len(ids)))
+        # Maximal: adjacent spans are non-contiguous.
+        for a, b in zip(spans, spans[1:]):
+            assert a[-1].index + 1 < b[0].index
+
+
+def make_engine():
+    env = Environment()
+    traffic = TrafficRecorder()
+    engine = MigrationEngine(env, pcie_gen4(), traffic, RmtClassifier())
+    return env, engine, traffic, CopyEngines(env)
+
+
+class TestTransferBlocks:
+    def test_one_dma_command_per_span(self):
+        env, engine, traffic, engines = make_engine()
+        group = blocks_at([1, 2, 10])
+
+        def driver():
+            yield from engine.transfer_blocks(
+                group, TransferDirection.HOST_TO_DEVICE,
+                TransferReason.PREFETCH, engines,
+            )
+
+        env.run(until=env.process(driver()))
+        assert traffic.transfer_count == 2  # [1,2] and [10]
+        assert traffic.bytes_h2d == 3 * BIG_PAGE
+
+    def test_coalescing_saves_latency(self):
+        def timed(indices):
+            env, engine, _, engines = make_engine()
+
+            def driver():
+                yield from engine.transfer_blocks(
+                    blocks_at(indices), TransferDirection.HOST_TO_DEVICE,
+                    TransferReason.PREFETCH, engines,
+                )
+
+            env.run(until=env.process(driver()))
+            return env.now
+
+        contiguous = timed(list(range(8)))
+        fragmented = timed(list(range(0, 16, 2)))
+        assert contiguous < fragmented
+
+    def test_direction_engine_serialization(self):
+        env, engine, _, engines = make_engine()
+        group_a = blocks_at([0])
+        group_b = blocks_at([100])
+
+        def send(group):
+            yield from engine.transfer_blocks(
+                group, TransferDirection.HOST_TO_DEVICE,
+                TransferReason.PREFETCH, engines,
+            )
+
+        env.process(send(group_a))
+        env.process(send(group_b))
+        env.run()
+        single = engine.transfer_time(BIG_PAGE)
+        assert env.now == pytest.approx(2 * single, rel=0.01)
+
+    def test_opposite_directions_overlap(self):
+        env, engine, _, engines = make_engine()
+
+        def h2d():
+            yield from engine.transfer_blocks(
+                blocks_at([0]), TransferDirection.HOST_TO_DEVICE,
+                TransferReason.PREFETCH, engines,
+            )
+
+        def d2h():
+            yield from engine.transfer_blocks(
+                blocks_at([100]), TransferDirection.DEVICE_TO_HOST,
+                TransferReason.EVICTION, engines,
+            )
+
+        env.process(h2d())
+        env.process(d2h())
+        env.run()
+        assert env.now == pytest.approx(engine.transfer_time(BIG_PAGE), rel=0.01)
+
+    def test_empty_transfer_noop(self):
+        env, engine, traffic, engines = make_engine()
+
+        def driver():
+            yield from engine.transfer_blocks(
+                [], TransferDirection.HOST_TO_DEVICE,
+                TransferReason.PREFETCH, engines,
+            )
+            yield env.timeout(0)
+
+        env.run(until=env.process(driver()))
+        assert traffic.transfer_count == 0
+
+
+class TestPeerTransfer:
+    def test_records_d2d(self):
+        env = Environment()
+        traffic = TrafficRecorder()
+        engine = MigrationEngine(env, pcie_gen4(), traffic, RmtClassifier())
+        src, dst = CopyEngines(env), CopyEngines(env)
+
+        def driver():
+            yield from engine.transfer_blocks_peer(
+                blocks_at([1, 2]), nvlink_gen3(), src, dst
+            )
+
+        env.run(until=env.process(driver()))
+        assert traffic.bytes_d2d == 2 * BIG_PAGE
+        assert traffic.bytes_h2d == 0
+
+    def test_p2p_link_speed_used(self):
+        env = Environment()
+        engine = MigrationEngine(
+            env, pcie_gen4(), TrafficRecorder(), RmtClassifier()
+        )
+        src, dst = CopyEngines(env), CopyEngines(env)
+
+        def driver():
+            yield from engine.transfer_blocks_peer(
+                blocks_at([1]), nvlink_gen3(), src, dst
+            )
+
+        env.run(until=env.process(driver()))
+        assert env.now == pytest.approx(
+            nvlink_gen3().transfer_time(BIG_PAGE, chunk=BIG_PAGE), rel=0.01
+        )
+
+
+class TestRawTransfer:
+    def test_records_bytes(self):
+        env, engine, traffic, engines = make_engine()
+
+        def driver():
+            yield from engine.raw_transfer(
+                12345, TransferDirection.DEVICE_TO_HOST,
+                TransferReason.MEMCPY, engines,
+            )
+
+        env.run(until=env.process(driver()))
+        assert traffic.bytes_d2h == 12345
+        assert traffic.bytes_for(TransferReason.MEMCPY) == 12345

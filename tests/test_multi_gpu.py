@@ -1,0 +1,154 @@
+"""Tests for multi-GPU support: peer migration, D2D links, exclusivity."""
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.errors import ConfigurationError
+from repro.interconnect import nvlink_gen3
+from repro.units import MIB
+
+
+def two_gpu_runtime(p2p=False):
+    return CudaRuntime(
+        gpus=[tiny_gpu(64, "gpu0"), tiny_gpu(64, "gpu1")],
+        p2p_link=nvlink_gen3() if p2p else None,
+    )
+
+
+def consume_kernel(buffer, device_mode=AccessMode.READ):
+    return KernelSpec("consume", [BufferAccess(buffer, device_mode)], flops=1e6)
+
+
+class TestConfiguration:
+    def test_gpu_and_gpus_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            CudaRuntime(gpu=tiny_gpu(), gpus=[tiny_gpu()])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CudaRuntime(gpus=[tiny_gpu(64, "gpu0"), tiny_gpu(64, "gpu0")])
+
+    def test_launch_on_unknown_device_rejected(self):
+        runtime = two_gpu_runtime()
+        buffer = runtime.malloc_managed(2 * MIB)
+        with pytest.raises(ConfigurationError):
+            runtime.launch(consume_kernel(buffer), device="gpu9")
+
+    def test_default_gpu_is_first(self):
+        runtime = two_gpu_runtime()
+        assert runtime.gpu.name == "gpu0"
+        assert set(runtime.executors) == {"gpu0", "gpu1"}
+
+
+class TestPeerMigration:
+    def _migrate_between_gpus(self, p2p):
+        runtime = two_gpu_runtime(p2p=p2p)
+        buffer = runtime.malloc_managed(8 * MIB, "shared")
+
+        def program(cuda):
+            # Produce on gpu0, consume on gpu1 — pointers are valid
+            # everywhere (§2.1), the driver migrates on fault.
+            cuda.launch(
+                KernelSpec(
+                    "produce", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e6
+                ),
+                device="gpu0",
+            )
+            yield from cuda.synchronize()
+            cuda.launch(consume_kernel(buffer), device="gpu1")
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        return runtime, buffer
+
+    def test_exclusive_residency_moves_to_consumer(self):
+        runtime, buffer = self._migrate_between_gpus(p2p=False)
+        for block in buffer.blocks:
+            assert block.residency == "gpu1"
+            assert not runtime.driver.gpu_page_table("gpu0").is_mapped(block.index)
+            assert runtime.driver.gpu_page_table("gpu1").is_mapped(block.index)
+        # Source frames were returned to gpu0's pool.
+        assert runtime.driver.gpu_free_bytes("gpu0") == runtime.gpu.memory_bytes
+
+    def test_without_p2p_data_bounces_through_host(self):
+        runtime, buffer = self._migrate_between_gpus(p2p=False)
+        traffic = runtime.driver.traffic
+        assert traffic.bytes_d2h == 8 * MIB
+        assert traffic.bytes_h2d == 8 * MIB
+        assert traffic.bytes_d2d == 0
+
+    def test_with_p2p_single_d2d_hop(self):
+        runtime, buffer = self._migrate_between_gpus(p2p=True)
+        traffic = runtime.driver.traffic
+        assert traffic.bytes_d2d == 8 * MIB
+        assert traffic.bytes_d2h == 0
+        assert traffic.bytes_h2d == 0
+
+    def test_p2p_faster_than_host_bounce(self):
+        slow, _ = self._migrate_between_gpus(p2p=False)
+        fast, _ = self._migrate_between_gpus(p2p=True)
+        assert fast.elapsed < slow.elapsed
+
+    def test_peer_read_is_useful_traffic(self):
+        runtime, _ = self._migrate_between_gpus(p2p=True)
+        runtime.driver.finalize()
+        assert runtime.driver.rmt.useful_bytes >= 8 * MIB
+
+
+class TestDiscardAcrossGpus:
+    def test_discarded_peer_block_is_not_transferred(self):
+        """§5.3 generalizes to peers: dead data never crosses any link."""
+        runtime = two_gpu_runtime(p2p=True)
+        buffer = runtime.malloc_managed(8 * MIB, "scratch")
+
+        def program(cuda):
+            cuda.launch(
+                KernelSpec(
+                    "produce", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e6
+                ),
+                device="gpu0",
+            )
+            cuda.discard_async(buffer, mode="eager")
+            yield from cuda.synchronize()
+            # gpu1 overwrites the (dead) buffer: zero-fill, no migration.
+            cuda.prefetch_async(buffer, destination="gpu1")
+            cuda.launch(
+                KernelSpec(
+                    "reuse", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e6
+                ),
+                device="gpu1",
+            )
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert runtime.driver.traffic.total_bytes == 0
+        for block in buffer.blocks:
+            assert block.residency == "gpu1"
+        # gpu0's frames were reclaimed without any transfer.
+        assert runtime.driver.gpu_free_bytes("gpu0") == runtime.gpu.memory_bytes
+
+    def test_two_gpus_compute_concurrently(self):
+        runtime = two_gpu_runtime()
+        a = runtime.malloc_managed(2 * MIB, "a")
+        b = runtime.malloc_managed(2 * MIB, "b")
+        s0 = runtime.create_stream("s0")
+        s1 = runtime.create_stream("s1")
+
+        def program(cuda):
+            cuda.launch(
+                KernelSpec("k0", [BufferAccess(a, AccessMode.WRITE)], duration=1.0),
+                stream=s0,
+                device="gpu0",
+            )
+            cuda.launch(
+                KernelSpec("k1", [BufferAccess(b, AccessMode.WRITE)], duration=1.0),
+                stream=s1,
+                device="gpu1",
+            )
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        # Separate SM engines: the two kernels overlapped.
+        assert runtime.elapsed < 1.5

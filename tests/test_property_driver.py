@@ -1,0 +1,161 @@
+"""Property-based stress tests of the driver's structural invariants.
+
+Hypothesis generates random operation sequences (prefetch either way,
+GPU fault batches, eager/lazy discards, correct lazy reuse, buffer
+frees) against a small GPU, and after every operation the test checks
+the invariants that define a well-formed UVM driver state:
+
+- frame conservation: allocator bookkeeping matches queue contents,
+- exclusive residency: a block is mapped on at most the processor it
+  resides on (modulo eager-discard's deliberate unmapping),
+- queue membership matches discard state,
+- the data oracle stays clean for programs that follow the §5.2 contract.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import AccessMode
+from repro.driver import UvmDriver, UvmDriverConfig, VaBlock
+from repro.engine import Environment
+from repro.instrument.traffic import TransferReason
+from repro.interconnect import pcie_gen4
+from repro.units import BIG_PAGE, MIB
+
+NUM_BLOCKS = 12
+GPU_FRAMES = 6  # half the blocks fit: constant eviction pressure
+
+operation = st.tuples(
+    st.sampled_from(
+        [
+            "prefetch_gpu",
+            "prefetch_cpu",
+            "gpu_fault",
+            "gpu_write",
+            "gpu_read",
+            "host_write",
+            "discard_eager",
+            "discard_lazy",
+        ]
+    ),
+    st.integers(min_value=0, max_value=NUM_BLOCKS - 1),
+    st.integers(min_value=1, max_value=3),  # span length
+)
+
+
+def check_invariants(driver: UvmDriver, blocks) -> None:
+    state = driver._gpu("gpu0")
+    queues = state.queues
+    # Frame conservation.
+    queued = queues.resident_blocks() + len(queues.unused)
+    assert queued == state.allocator.used_frames
+    assert 0 <= state.allocator.free_frames <= state.allocator.capacity_frames
+    table = driver.gpu_page_table("gpu0")
+    for block in blocks:
+        if block.on_gpu:
+            # GPU-resident blocks sit in exactly one queue and own a frame.
+            in_used = block in queues.used
+            in_discarded = block in queues.discarded
+            assert in_used != in_discarded, block
+            assert block.frame is not None and block.frame.allocated
+            assert in_discarded == block.discarded
+            # The CPU never maps a GPU-resident block (§2.2).
+            assert not driver.cpu_page_table.is_mapped(block.index)
+        else:
+            assert block.frame is None
+            assert not table.is_mapped(block.index)
+        if table.is_mapped(block.index):
+            assert block.residency == "gpu0"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(operation, min_size=1, max_size=40))
+def test_random_operation_sequences_preserve_invariants(ops):
+    env = Environment()
+    driver = UvmDriver(env, pcie_gen4(), UvmDriverConfig())
+    driver.register_gpu("gpu0", GPU_FRAMES * 2 * MIB)
+    blocks = [VaBlock(100 + i, BIG_PAGE) for i in range(NUM_BLOCKS)]
+    driver.register_blocks(blocks)
+
+    def run(generator):
+        env.run(until=env.process(generator))
+
+    for name, start, span in ops:
+        selected = blocks[start : start + span]
+        if name == "prefetch_gpu":
+            run(driver.prefetch(selected, "gpu0"))
+        elif name == "prefetch_cpu":
+            run(driver.prefetch(selected, "cpu"))
+        elif name == "gpu_fault":
+            faulting = [
+                b for b in selected if driver.gpu_needs_fault("gpu0", b)
+            ]
+            run(driver.handle_gpu_faults("gpu0", faulting))
+        elif name == "gpu_write":
+            # Correct lazy usage: notify via prefetch before writing.
+            run(driver.prefetch(selected, "gpu0"))
+            for block in selected:
+                driver.note_access(block, AccessMode.WRITE)
+        elif name == "gpu_read":
+            run(driver.prefetch(selected, "gpu0"))
+            for block in selected:
+                driver.note_access(block, AccessMode.READ)
+        elif name == "host_write":
+            run(
+                driver.make_resident_cpu(
+                    selected, TransferReason.FAULT_MIGRATION, True
+                )
+            )
+            for block in selected:
+                driver.note_access(block, AccessMode.WRITE)
+        elif name == "discard_eager":
+            for block in selected:
+                if not block.discarded:
+                    driver.discard_block_eager(block)
+        elif name == "discard_lazy":
+            for block in selected:
+                if not block.discarded:
+                    driver.discard_block_lazy(block)
+        check_invariants(driver, blocks)
+
+    # A program following the contract never corrupts data.
+    assert driver.counters["lazy_misuses"] == 0
+    assert driver.oracle.corruption_count == 0
+    driver.finalize()
+    assert (
+        driver.rmt.useful_bytes + driver.rmt.redundant_bytes
+        <= driver.traffic.total_bytes + NUM_BLOCKS * BIG_PAGE * len(ops)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=5)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_discard_reuse_cycles_never_transfer(cycles):
+    """Any interleaving of {discard, prefetch, overwrite} cycles over
+    GPU-only scratch blocks moves zero bytes across the link."""
+    env = Environment()
+    driver = UvmDriver(env, pcie_gen4(), UvmDriverConfig())
+    driver.register_gpu("gpu0", 8 * MIB)
+    blocks = [VaBlock(200 + i, BIG_PAGE) for i in range(6)]
+    driver.register_blocks(blocks)
+
+    def run(generator):
+        env.run(until=env.process(generator))
+
+    for lazy, index in cycles:
+        block = blocks[index]
+        run(driver.prefetch([block], "gpu0"))
+        driver.note_access(block, AccessMode.WRITE)
+        if lazy:
+            driver.discard_block_lazy(block)
+        else:
+            driver.discard_block_eager(block)
+    assert driver.traffic.total_bytes == 0

@@ -1,0 +1,117 @@
+"""Tests for the §2.3 cache-coherent remote-access mode."""
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.instrument.traffic import TransferReason
+from repro.units import MIB
+
+
+def run_kernel(remote, reads=2, buffer_mib=16, memory_mib=64):
+    runtime = CudaRuntime(gpu=tiny_gpu(memory_mib), remote_access=remote)
+    buffer = runtime.malloc_managed(buffer_mib * MIB, "data")
+
+    def program(cuda):
+        yield from cuda.host_write(buffer)
+        for i in range(reads):
+            cuda.launch(
+                KernelSpec(
+                    f"read_{i}",
+                    [BufferAccess(buffer, AccessMode.READ)],
+                    flops=1e6,
+                )
+            )
+        yield from cuda.synchronize()
+
+    runtime.run(program)
+    return runtime, buffer
+
+
+class TestRemoteAccessMode:
+    def test_no_migration_no_faults(self):
+        runtime, buffer = run_kernel(remote=True)
+        assert runtime.driver.counters["gpu_fault_batches"] == 0
+        # Data never moved: still CPU-resident.
+        assert all(b.on_cpu for b in buffer.blocks)
+
+    def test_remote_traffic_recorded_per_access(self):
+        runtime, _ = run_kernel(remote=True, reads=3, buffer_mib=8)
+        remote = runtime.driver.traffic.bytes_for(TransferReason.REMOTE_ACCESS)
+        # Every pass re-reads the whole buffer over the link.
+        assert remote == 3 * 8 * MIB
+        assert runtime.executor.remote_bytes == remote
+
+    def test_migration_mode_pays_once(self):
+        runtime, buffer = run_kernel(remote=False, reads=3)
+        fault = runtime.driver.traffic.bytes_for(TransferReason.FAULT_MIGRATION)
+        assert fault == buffer.nbytes  # one migration, then local re-use
+
+    def test_reuse_favours_migration(self):
+        """§2.3: remote access loses once data is re-used locally."""
+        remote, _ = run_kernel(remote=True, reads=6)
+        migrate, _ = run_kernel(remote=False, reads=6)
+        assert migrate.elapsed < remote.elapsed
+
+    def test_single_touch_streams_compete(self):
+        """For single-touch streaming, the two modes are comparable."""
+        remote, _ = run_kernel(remote=True, reads=1)
+        migrate, _ = run_kernel(remote=False, reads=1)
+        assert remote.elapsed < 2.5 * migrate.elapsed
+
+    def test_untouched_blocks_populated_as_host_zeros(self):
+        runtime = CudaRuntime(gpu=tiny_gpu(), remote_access=True)
+        buffer = runtime.malloc_managed(4 * MIB, "fresh")
+
+        def program(cuda):
+            cuda.launch(
+                KernelSpec(
+                    "write", [BufferAccess(buffer, AccessMode.WRITE)], flops=1e6
+                )
+            )
+            yield from cuda.synchronize()
+
+        runtime.run(program)
+        assert all(b.on_cpu and b.populated for b in buffer.blocks)
+
+    def test_discard_still_valuable_with_coherent_link(self):
+        """§3.2: 'a UVM system that supports cache-coherent remote memory
+        accesses still needs a discard directive'.
+
+        Here migration is used for locality (prefetch), and the dead
+        buffer's eviction RMTs exist regardless of the coherent link —
+        discard removes them.
+        """
+
+        def cycle(discard):
+            runtime = CudaRuntime(gpu=tiny_gpu(32), remote_access=True)
+            scratch = runtime.malloc_managed(24 * MIB, "scratch")
+            other = runtime.malloc_managed(24 * MIB, "other")
+
+            def program(cuda):
+                cuda.prefetch_async(scratch)  # placed locally for re-use
+                cuda.launch(
+                    KernelSpec(
+                        "produce",
+                        [BufferAccess(scratch, AccessMode.WRITE)],
+                        flops=1e6,
+                    )
+                )
+                if discard:
+                    cuda.discard_async(scratch, mode="eager")
+                cuda.prefetch_async(other)
+                cuda.launch(
+                    KernelSpec(
+                        "pressure",
+                        [BufferAccess(other, AccessMode.WRITE)],
+                        flops=1e6,
+                    )
+                )
+                yield from cuda.synchronize()
+
+            runtime.run(program)
+            return runtime.driver.traffic.bytes_for(TransferReason.EVICTION)
+
+        assert cycle(discard=False) > 0
+        assert cycle(discard=True) == 0

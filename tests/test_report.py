@@ -1,0 +1,73 @@
+"""Tests for the report renderers (markdown/CSV/summary)."""
+
+import csv
+import io
+
+from repro.harness.results import ExperimentResult
+from repro.instrument.report import (
+    FIELDS,
+    results_to_csv,
+    results_to_markdown,
+    speedup_summary,
+)
+
+
+def make_result(system, config, elapsed, traffic, metric=None):
+    return ExperimentResult(
+        system=system,
+        config=config,
+        elapsed_seconds=elapsed,
+        traffic_gb=traffic,
+        traffic_h2d_gb=traffic / 2,
+        traffic_d2h_gb=traffic / 2,
+        redundant_gb=0.5,
+        useful_gb=traffic - 0.5,
+        metric=metric,
+    )
+
+
+class TestCsv:
+    def test_round_trip(self):
+        rows = [
+            make_result("UVM-opt", "200%", 2.0, 10.0),
+            make_result("UvmDiscard", "200%", 1.0, 2.0, metric=5.0),
+        ]
+        text = results_to_csv(rows)
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == list(FIELDS)
+        assert len(parsed) == 3
+        assert parsed[1][0] == "UVM-opt"
+        assert float(parsed[2][3]) == 2.0
+
+    def test_empty(self):
+        text = results_to_csv([])
+        assert text.strip() == ",".join(FIELDS)
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        rows = [make_result("A", "c1", 1.0, 2.0)]
+        text = results_to_markdown(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2].startswith("| system | config |")
+        assert "| A | c1 |" in lines[-1]
+
+    def test_none_metric_rendered_as_dash(self):
+        text = results_to_markdown([make_result("A", "c", 1.0, 2.0, metric=None)])
+        assert "| - |" in text.splitlines()[-1]
+
+
+class TestSpeedupSummary:
+    def test_speedup_and_cut(self):
+        rows = [
+            make_result("base", "200%", 4.0, 10.0),
+            make_result("fast", "200%", 1.0, 2.5),
+        ]
+        summary = speedup_summary(rows, "base")
+        assert "4.00x speedup" in summary
+        assert "-75% traffic" in summary
+
+    def test_missing_baseline_config_skipped(self):
+        rows = [make_result("fast", "300%", 1.0, 1.0)]
+        assert speedup_summary(rows, "base") == ""

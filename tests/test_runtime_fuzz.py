@@ -1,0 +1,84 @@
+"""Hypothesis fuzzing at the runtime level: random contract-correct
+programs over multiple streams never corrupt data or break invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.harness.validation import check_driver_invariants
+from repro.units import MIB
+
+NUM_BUFFERS = 3
+
+#: One program step: (operation, buffer index, stream index).
+STEP = st.tuples(
+    st.sampled_from(
+        ["launch_read", "launch_write", "prefetch", "discard_eager",
+         "discard_lazy", "prefetch_cpu"]
+    ),
+    st.integers(min_value=0, max_value=NUM_BUFFERS - 1),
+    st.integers(min_value=0, max_value=1),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(STEP, min_size=1, max_size=25))
+def test_random_programs_stay_consistent(steps):
+    runtime = CudaRuntime(gpu=tiny_gpu(16))  # small: constant eviction
+    buffers = [
+        runtime.malloc_managed(6 * MIB, f"buf{i}") for i in range(NUM_BUFFERS)
+    ]
+
+    def program(cuda):
+        streams = [cuda.create_stream("s0"), cuda.create_stream("s1")]
+        # Track, per buffer, whether the contract requires a prefetch
+        # before the next write (a lazy discard is outstanding).
+        needs_notify = [False] * NUM_BUFFERS
+        for op, index, stream_index in steps:
+            buffer = buffers[index]
+            stream = streams[stream_index]
+            if op == "launch_read":
+                # Reading discarded data is legal (§4.1) but serialize
+                # with the other stream to keep the program well ordered.
+                yield from cuda.synchronize()
+                cuda.launch(
+                    KernelSpec(
+                        "read", [BufferAccess(buffer, AccessMode.READ)],
+                        flops=1e5,
+                    ),
+                    stream=stream,
+                )
+            elif op == "launch_write":
+                yield from cuda.synchronize()
+                if needs_notify[index]:
+                    cuda.prefetch_async(buffer, stream=stream)
+                    needs_notify[index] = False
+                cuda.launch(
+                    KernelSpec(
+                        "write", [BufferAccess(buffer, AccessMode.WRITE)],
+                        flops=1e5,
+                    ),
+                    stream=stream,
+                )
+            elif op == "prefetch":
+                yield from cuda.synchronize()
+                cuda.prefetch_async(buffer, stream=stream)
+                needs_notify[index] = False
+            elif op == "prefetch_cpu":
+                yield from cuda.synchronize()
+                cuda.prefetch_async(buffer, destination="cpu", stream=stream)
+            elif op == "discard_eager":
+                yield from cuda.synchronize()
+                cuda.discard_async(buffer, mode="eager", stream=stream)
+            elif op == "discard_lazy":
+                yield from cuda.synchronize()
+                cuda.discard_async(buffer, mode="lazy", stream=stream)
+                needs_notify[index] = True
+        yield from cuda.synchronize()
+
+    runtime.run(program)
+    check_driver_invariants(runtime.driver)
+    assert runtime.driver.counters["lazy_misuses"] == 0
+    assert runtime.driver.oracle.corruption_count == 0

@@ -1,0 +1,140 @@
+"""Tests for the timeline exporter and the invariant checker."""
+
+import json
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro import AccessMode, BufferAccess, CudaRuntime, KernelSpec
+from repro.driver.va_block import VaBlock
+from repro.errors import SimulationError
+from repro.harness.validation import check_driver_invariants
+from repro.instrument.timeline import TRACK_H2D, Span, Timeline
+from repro.units import BIG_PAGE, MIB
+
+
+def traced_run(program_factory, memory_mib=64):
+    runtime = CudaRuntime(gpu=tiny_gpu(memory_mib))
+    timeline = Timeline.attach(runtime)
+    runtime.run(program_factory)
+    return runtime, timeline
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("t", "n", 1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("t", "n", 2.0, 1.0)
+
+
+class TestTimelineRecording:
+    def test_kernels_and_transfers_recorded(self):
+        def program(cuda):
+            buffer = cuda.malloc_managed(8 * MIB, "data")
+            yield from cuda.host_write(buffer)
+            cuda.prefetch_async(buffer)
+            cuda.launch(
+                KernelSpec(
+                    "work", [BufferAccess(buffer, AccessMode.READ)], flops=1e9
+                )
+            )
+            yield from cuda.synchronize()
+
+        _, timeline = traced_run(program)
+        kernel_spans = [s for s in timeline.spans if s.category == "kernel"]
+        transfer_spans = [s for s in timeline.spans if s.category == "transfer"]
+        assert [s.name for s in kernel_spans] == ["work"]
+        assert len(transfer_spans) >= 1
+        assert all(s.end >= s.start for s in timeline.spans)
+
+    def test_busy_seconds(self):
+        def program(cuda):
+            buffer = cuda.malloc_managed(4 * MIB, "data")
+            cuda.launch(
+                KernelSpec(
+                    "k", [BufferAccess(buffer, AccessMode.WRITE)], duration=0.5
+                )
+            )
+            yield from cuda.synchronize()
+
+        _, timeline = traced_run(program)
+        assert timeline.busy_seconds("gpu0:compute") == pytest.approx(
+            0.5, rel=0.1
+        )
+
+    def test_prefetch_overlaps_compute(self):
+        """The overlap the paper's UVM-opt relies on, made visible."""
+
+        def program(cuda):
+            a = cuda.malloc_managed(16 * MIB, "a")
+            b = cuda.malloc_managed(16 * MIB, "b")
+            yield from cuda.host_write(a)
+            yield from cuda.host_write(b)
+            transfer = cuda.create_stream("transfer")
+            cuda.prefetch_async(a)
+            yield from cuda.synchronize()
+            # Kernel on A while B prefetches concurrently.
+            cuda.prefetch_async(b, stream=transfer)
+            cuda.launch(
+                KernelSpec(
+                    "k", [BufferAccess(a, AccessMode.READ)], duration=0.01
+                )
+            )
+            yield from cuda.synchronize()
+
+        _, timeline = traced_run(program)
+        assert timeline.overlap_seconds("gpu0:compute", TRACK_H2D) > 0
+
+    def test_overlap_of_disjoint_tracks_is_zero(self):
+        timeline = Timeline()
+        timeline.record("a", "x", 0.0, 1.0)
+        timeline.record("b", "y", 2.0, 3.0)
+        assert timeline.overlap_seconds("a", "b") == 0.0
+
+
+class TestChromeTraceExport:
+    def test_export_format(self, tmp_path):
+        timeline = Timeline()
+        timeline.record("gpu0:compute", "k1", 0.001, 0.002, args={"n": 1})
+        target = tmp_path / "trace.json"
+        timeline.write_chrome_trace(str(target))
+        data = json.loads(target.read_text())
+        events = data["traceEvents"]
+        assert len(events) == 1
+        event = events[0]
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(1000.0)  # microseconds
+        assert event["dur"] == pytest.approx(1000.0)
+        assert event["tid"] == "gpu0:compute"
+        assert event["args"] == {"n": 1}
+
+
+class TestInvariantChecker:
+    def test_clean_runtime_passes(self):
+        def program(cuda):
+            buffer = cuda.malloc_managed(8 * MIB, "data")
+            cuda.prefetch_async(buffer)
+            cuda.discard_async(buffer, mode="eager")
+            yield from cuda.synchronize()
+
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        runtime.run(program)
+        check_driver_invariants(runtime.driver)  # must not raise
+
+    def test_detects_forged_residency(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        block = VaBlock(999, BIG_PAGE)
+        runtime.driver.register_blocks([block])
+        block.residency = "gpu0"  # lie: no frame, no queue, no mapping
+        with pytest.raises(SimulationError, match="invariants violated"):
+            check_driver_invariants(runtime.driver)
+
+    def test_detects_leaked_frame(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        # Allocate a frame behind the driver's back.
+        runtime.driver._gpu("gpu0").allocator.allocate()
+        with pytest.raises(SimulationError, match="allocator has"):
+            check_driver_invariants(runtime.driver)

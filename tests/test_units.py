@@ -1,0 +1,74 @@
+"""Tests for repro.units: sizes, times and alignment helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_sizes_are_powers(self):
+        assert units.KIB == 2**10
+        assert units.MIB == 2**20
+        assert units.GIB == 2**30
+
+    def test_decimal_sizes(self):
+        assert units.KB == 10**3
+        assert units.MB == 10**6
+        assert units.GB == 10**9
+
+    def test_page_geometry(self):
+        assert units.BIG_PAGE == 2 * units.MIB
+        assert units.SMALL_PAGE == 4 * units.KIB
+        assert units.PAGES_PER_BLOCK == 512
+        assert units.FULL_BLOCK_MASK == (1 << 512) - 1
+
+    def test_time_helpers(self):
+        assert units.us(1) == pytest.approx(1e-6)
+        assert units.ms(2.5) == pytest.approx(2.5e-3)
+
+    def test_traffic_units(self):
+        assert units.to_gb(5_000_000_000) == pytest.approx(5.0)
+        assert units.to_gib(units.GIB) == pytest.approx(1.0)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert units.align_down(5, 4) == 4
+        assert units.align_down(8, 4) == 8
+        assert units.align_down(0, 4) == 0
+
+    def test_align_up(self):
+        assert units.align_up(5, 4) == 8
+        assert units.align_up(8, 4) == 8
+        assert units.align_up(0, 4) == 0
+
+    def test_is_aligned(self):
+        assert units.is_aligned(8, 4)
+        assert not units.is_aligned(6, 4)
+
+    @pytest.mark.parametrize("func", [units.align_down, units.align_up, units.is_aligned])
+    def test_rejects_nonpositive_alignment(self, func):
+        with pytest.raises(ValueError):
+            func(8, 0)
+        with pytest.raises(ValueError):
+            func(8, -2)
+
+    @given(st.integers(min_value=0, max_value=10**15), st.integers(min_value=1, max_value=10**9))
+    def test_align_down_properties(self, value, alignment):
+        down = units.align_down(value, alignment)
+        assert down % alignment == 0
+        assert down <= value < down + alignment
+
+    @given(st.integers(min_value=0, max_value=10**15), st.integers(min_value=1, max_value=10**9))
+    def test_align_up_properties(self, value, alignment):
+        up = units.align_up(value, alignment)
+        assert up % alignment == 0
+        assert up - alignment < value <= up
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_align_round_trip(self, value, alignment):
+        assert units.align_up(units.align_down(value, alignment), alignment) == (
+            units.align_down(value, alignment)
+        )

@@ -1,0 +1,138 @@
+"""Functional-mode workload tests: real results under simulated memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import tiny_gpu
+
+from repro.cuda.runtime import CudaRuntime
+from repro.workloads.functional import functional_hash_join, functional_radix_sort
+
+
+def run_with(factory, memory_mib=64):
+    runtime = CudaRuntime(gpu=tiny_gpu(memory_mib))
+    out = {}
+
+    def program(cuda):
+        out["result"] = yield from factory(cuda)
+
+    runtime.run(program)
+    return runtime, out["result"]
+
+
+class TestFunctionalRadixSort:
+    def test_sorts(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
+        runtime, result = run_with(
+            lambda cuda: functional_radix_sort(cuda, keys)
+        )
+        assert np.array_equal(result, np.sort(keys))
+
+    def test_rejects_wrong_dtype(self):
+        runtime = CudaRuntime(gpu=tiny_gpu())
+        with pytest.raises(TypeError):
+
+            def program(cuda):
+                yield from functional_radix_sort(
+                    cuda, np.zeros(4, dtype=np.int64)
+                )
+
+            runtime.run(program)
+
+    @pytest.mark.parametrize("discard", [None, "eager", "lazy"])
+    def test_every_discard_mode_produces_same_result(self, discard):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 2**32, size=1024, dtype=np.uint32)
+        runtime, result = run_with(
+            lambda cuda: functional_radix_sort(cuda, keys, discard=discard)
+        )
+        assert np.array_equal(result, np.sort(keys))
+        assert runtime.driver.oracle.corruption_count == 0
+
+    def test_oversubscribed_sort_still_correct(self):
+        """Eviction + discard churn never corrupts the data."""
+        rng = np.random.default_rng(3)
+        # 16 MiB of keys on an 8 MiB GPU: constant eviction.
+        keys = rng.integers(0, 2**32, size=4 * 1024 * 1024, dtype=np.uint32)
+        runtime, result = run_with(
+            lambda cuda: functional_radix_sort(cuda, keys), memory_mib=8
+        )
+        assert np.array_equal(result, np.sort(keys))
+        assert runtime.driver.counters["evicted_blocks"] > 0
+        assert runtime.driver.counters["discarded_blocks"] > 0
+        assert runtime.driver.oracle.corruption_count == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200
+        )
+    )
+    def test_sort_property(self, values):
+        keys = np.array(values, dtype=np.uint32)
+        _, result = run_with(lambda cuda: functional_radix_sort(cuda, keys))
+        assert np.array_equal(result, np.sort(keys))
+
+
+class TestFunctionalHashJoin:
+    def _tables(self):
+        left_keys = np.array([1, 2, 3, 5, 8], dtype=np.int64)
+        left_vals = np.array([10, 20, 30, 50, 80], dtype=np.int64)
+        right_keys = np.array([5, 2, 9, 2], dtype=np.int64)
+        right_vals = np.array([500, 200, 900, 201], dtype=np.int64)
+        return left_keys, left_vals, right_keys, right_vals
+
+    def test_inner_join_matches_reference(self):
+        lk, lv, rk, rv = self._tables()
+        _, (keys, lvals, rvals) = run_with(
+            lambda cuda: functional_hash_join(cuda, lk, lv, rk, rv)
+        )
+        assert keys.tolist() == [2, 2, 5]
+        assert lvals.tolist() == [20, 20, 50]
+        assert rvals.tolist() == [200, 201, 500]
+
+    def test_no_matches(self):
+        lk = np.array([1], dtype=np.int64)
+        lv = np.array([10], dtype=np.int64)
+        rk = np.array([2], dtype=np.int64)
+        rv = np.array([20], dtype=np.int64)
+        _, (keys, lvals, rvals) = run_with(
+            lambda cuda: functional_hash_join(cuda, lk, lv, rk, rv)
+        )
+        assert keys.size == 0
+
+    @pytest.mark.parametrize("discard", [None, "eager"])
+    def test_discard_mode_equivalence(self, discard):
+        lk, lv, rk, rv = self._tables()
+        runtime, (keys, _, _) = run_with(
+            lambda cuda: functional_hash_join(cuda, lk, lv, rk, rv, discard=discard)
+        )
+        assert keys.tolist() == [2, 2, 5]
+        assert runtime.driver.oracle.corruption_count == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=30),
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=30),
+    )
+    def test_join_property(self, left, right):
+        """Matches NumPy's reference inner join on unique left keys."""
+        left_keys = np.array(sorted(set(left)), dtype=np.int64)
+        left_vals = left_keys * 10
+        right_keys = np.array(right, dtype=np.int64)
+        right_vals = np.arange(len(right), dtype=np.int64)
+        _, (keys, lvals, rvals) = run_with(
+            lambda cuda: functional_hash_join(
+                cuda, left_keys, left_vals, right_keys, right_vals
+            )
+        )
+        expected = sorted(
+            (int(k), int(k) * 10, int(v))
+            for k, v in zip(right_keys, right_vals)
+            if k in set(left_keys.tolist())
+        )
+        got = list(zip(keys.tolist(), lvals.tolist(), rvals.tolist()))
+        assert got == expected
