@@ -29,6 +29,27 @@ def bench_scale(default: float) -> float:
     return float(value)
 
 
+def bench_jobs(default: int = 1) -> int:
+    """Sweep worker processes (env override: REPRO_BENCH_JOBS)."""
+    value = os.environ.get("REPRO_BENCH_JOBS")
+    if value is None:
+        return default
+    return max(1, int(value))
+
+
+def bench_cache():
+    """The sweep result cache, when ``REPRO_BENCH_CACHE=1`` opts in.
+
+    Off by default so ``pytest benchmarks/`` always re-simulates; the
+    content-hash key makes opting in safe across scale/config changes.
+    """
+    if os.environ.get("REPRO_BENCH_CACHE", "") not in ("1", "true", "yes"):
+        return None
+    from repro.harness.sweep import ResultCache, default_cache_dir
+
+    return ResultCache(default_cache_dir())
+
+
 @pytest.fixture
 def save_table():
     """Print a rendered table and persist it under benchmarks/results/."""

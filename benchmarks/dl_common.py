@@ -1,31 +1,35 @@
-"""Shared deep-learning sweep driver for the Figure 3/5/6/7 benchmarks."""
+"""Shared deep-learning sweep driver for the Figure 3/5/6/7 benchmarks.
+
+Thin shim over :mod:`repro.harness.sweep`: each figure declares its
+(network x system x batch) grid here and the sweep engine executes it —
+optionally across worker processes (``REPRO_BENCH_JOBS``) and against
+the on-disk result cache (``REPRO_BENCH_CACHE=1``), exactly like the
+CLI's ``sweep`` subcommand.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Tuple
 
-from conftest import bench_scale
+from conftest import bench_cache, bench_jobs, bench_scale
 
-from repro.cuda.device import rtx_3080ti
-from repro.errors import OutOfMemoryError
 from repro.harness.results import ExperimentResult
+from repro.harness.sweep import DL_BATCH_GRID, SweepPoint, run_sweep
 from repro.harness.systems import System
 from repro.interconnect.link import Link
-from repro.workloads.dl import (
-    DarknetTrainer,
-    TrainerConfig,
-    darknet19,
-    resnet53,
-    rnn_shakespeare,
-    vgg16,
-)
+from repro.workloads.dl import darknet19, resnet53, rnn_shakespeare, vgg16
+
+#: Display name -> sweep workload key for the four §7.5 networks.
+NETWORK_KEYS = {
+    "VGG-16": "vgg16",
+    "Darknet-19": "darknet19",
+    "ResNet-53": "resnet53",
+    "RNN": "rnn",
+}
 
 #: Per-network batch-size grids spanning the §7.5 capacity crossover.
 BATCH_GRID: Dict[str, Tuple[int, ...]] = {
-    "VGG-16": (50, 75, 100, 125, 150),
-    "Darknet-19": (86, 171, 260, 360),
-    "ResNet-53": (28, 56, 100, 150),
-    "RNN": (75, 150, 225, 300),
+    name: DL_BATCH_GRID[key] for name, key in NETWORK_KEYS.items()
 }
 
 NETWORK_FACTORIES = {
@@ -42,6 +46,9 @@ DL_SYSTEMS = (
     System.UVM_DISCARD_LAZY,
 )
 
+#: Link-factory -> sweep link name (the factories the benchmarks pass).
+_LINK_NAMES = {"pcie_gen3": "gen3", "pcie_gen4": "gen4"}
+
 
 def dl_sweep(
     link_factory: Callable[[], Link],
@@ -53,23 +60,29 @@ def dl_sweep(
 
     Returns ``{network: {system_name: [result-or-None per batch]}}``.
     """
+    link_name = _LINK_NAMES[link_factory.__name__]
     scale = bench_scale(default_scale)
-    gpu = rtx_3080ti().scaled(scale)
+    networks = list(networks)
+    systems = list(systems)
+    points = [
+        SweepPoint(
+            workload=f"dl:{NETWORK_KEYS[name]}",
+            system=system.value,
+            link=link_name,
+            batch_size=batch_size,
+            scale=scale,
+        )
+        for name in networks
+        for system in systems
+        for batch_size in BATCH_GRID[name]
+    ]
+    report = run_sweep(points, jobs=bench_jobs(), cache=bench_cache())
     sweep: Dict[str, Dict[str, List[ExperimentResult]]] = {}
+    rows = iter(report.results)
     for name in networks:
-        network = NETWORK_FACTORIES[name]().scaled(scale)
         per_system: Dict[str, List[ExperimentResult]] = {}
         for system in systems:
-            rows: List[ExperimentResult] = []
-            for batch_size in BATCH_GRID[name]:
-                trainer = DarknetTrainer(
-                    network, TrainerConfig(batch_size=batch_size), system
-                )
-                try:
-                    rows.append(trainer.run(gpu, link_factory()))
-                except OutOfMemoryError:
-                    rows.append(None)
-            per_system[system.value] = rows
+            per_system[system.value] = [next(rows) for _ in BATCH_GRID[name]]
         sweep[name] = per_system
     return sweep
 

@@ -5,44 +5,46 @@ Commands:
 - ``list`` — enumerate the reproducible experiments,
 - ``run <experiment>`` — run one experiment and print its paper-style
   table (``--scale``, ``--link``, ``--csv`` options),
+- ``sweep`` — expand a declarative grid of (workload, system, link,
+  ratio/batch) points, execute it across a worker pool with on-disk
+  result caching, and print a summary table,
 - ``demo`` — the VectorAdd quickstart with verified results.
 
 The heavyweight regeneration of *every* table and figure lives in
 ``pytest benchmarks/ --benchmark-only``; the CLI is the fast,
-exploratory front end.
+exploratory front end.  ``run``, ``reproduce`` and ``sweep`` all execute
+through the same :mod:`repro.harness.sweep` engine.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.cuda.device import rtx_3080ti
+from repro.errors import ConfigurationError
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.harness.runner import ratio_label
-from repro.harness.systems import System
-from repro.instrument.report import results_to_csv
-from repro.interconnect import pcie_gen3, pcie_gen4
-from repro.workloads.dl import (
-    DarknetTrainer,
-    TrainerConfig,
-    darknet19,
-    resnet53,
-    rnn_shakespeare,
-    vgg16,
+from repro.harness.sweep import (
+    CACHE_ENV,
+    DL_BATCH_GRID,
+    ResultCache,
+    SweepGrid,
+    SweepPoint,
+    default_cache_dir,
+    run_sweep,
 )
-from repro.workloads.fir import FirConfig, FirWorkload
-from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
-from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
+from repro.harness.systems import System
+from repro.instrument.report import results_to_csv, sweep_summary_table
 
 RATIOS = (0.99, 2.0, 3.0, 4.0)
 MICRO_SYSTEMS = (System.UVM_OPT, System.UVM_DISCARD, System.UVM_DISCARD_LAZY)
-DL_NETWORKS = {
-    "vgg16": (vgg16, (50, 75, 100, 125, 150)),
-    "darknet19": (darknet19, (86, 171, 260, 360)),
-    "resnet53": (resnet53, (28, 56, 100, 150)),
-    "rnn": (rnn_shakespeare, (75, 150, 225, 300)),
+DL_DISPLAY_NAMES = {
+    "vgg16": "VGG-16",
+    "darknet19": "Darknet-19",
+    "resnet53": "ResNet-53",
+    "rnn": "RNN",
 }
 
 EXPERIMENTS = {
@@ -56,32 +58,22 @@ EXPERIMENTS = {
 }
 
 
-def _link_factory(name: str) -> Callable:
-    if name == "gen3":
-        return pcie_gen3
-    if name == "gen4":
-        return pcie_gen4
-    raise SystemExit(f"unknown link {name!r}; expected gen3 or gen4")
-
-
 def _run_micro(
     kind: str, scale: float, link_name: str
 ) -> List[ExperimentResult]:
-    workloads = {
-        "fir": lambda: FirWorkload(FirConfig().scaled(scale)),
-        "radix": lambda: RadixSortWorkload(RadixSortConfig().scaled(scale)),
-        "hashjoin": lambda: HashJoinWorkload(HashJoinConfig().scaled(scale)),
-    }
-    workload = workloads[kind]()
-    gpu = rtx_3080ti().scaled(scale)
-    link = _link_factory(link_name)
-    results = []
+    points = [
+        SweepPoint(
+            workload=kind, system=system.value, link=link_name,
+            ratio=ratio, scale=scale,
+        )
+        for ratio in RATIOS
+        for system in MICRO_SYSTEMS
+    ]
+    report = run_sweep(points)
+    results = [result for result in report.results if result is not None]
     table = ResultTable(kind, [ratio_label(r) for r in RATIOS])
-    for ratio in RATIOS:
-        for system in MICRO_SYSTEMS:
-            result = workload.run(system, ratio, gpu, link())
-            table.add(result)
-            results.append(result)
+    for result in results:
+        table.add(result)
     print(table.render("normalized_runtime", baseline=System.UVM_OPT.value))
     print()
     print(table.render("traffic_gb"))
@@ -89,18 +81,20 @@ def _run_micro(
 
 
 def _run_dl(network: str, scale: float, link_name: str) -> List[ExperimentResult]:
-    factory, batches = DL_NETWORKS[network]
-    spec = factory().scaled(scale)
-    gpu = rtx_3080ti().scaled(scale)
-    link = _link_factory(link_name)
-    results = []
-    table = ResultTable(spec.name, [str(b) for b in batches])
-    for batch in batches:
-        for system in MICRO_SYSTEMS:
-            trainer = DarknetTrainer(spec, TrainerConfig(batch_size=batch), system)
-            result = trainer.run(gpu, link(), config_label=str(batch))
-            table.add(result)
-            results.append(result)
+    batches = DL_BATCH_GRID[network]
+    points = [
+        SweepPoint(
+            workload=f"dl:{network}", system=system.value, link=link_name,
+            batch_size=batch, scale=scale,
+        )
+        for batch in batches
+        for system in MICRO_SYSTEMS
+    ]
+    report = run_sweep(points)
+    results = [result for result in report.results if result is not None]
+    table = ResultTable(DL_DISPLAY_NAMES[network], [f"bs={b}" for b in batches])
+    for result in results:
+        table.add(result)
     print(table.render("metric", fmt="{:.1f}"))
     print()
     print(table.render("traffic_gb"))
@@ -152,6 +146,59 @@ def cmd_reproduce(args) -> int:
     with open(args.output, "w") as handle:
         handle.write(report)
     print(f"wrote {args.output}")
+    return 0
+
+
+def _split(text: Optional[str]) -> List[str]:
+    if not text:
+        return []
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def cmd_sweep(args) -> int:
+    try:
+        if args.grid:
+            grid = SweepGrid.from_json(pathlib.Path(args.grid).read_text())
+        else:
+            workloads = _split(args.workloads)
+            if not workloads:
+                print(
+                    "sweep needs --grid FILE or --workloads a,b,c",
+                    file=sys.stderr,
+                )
+                return 2
+            batches = _split(args.batches)
+            grid = SweepGrid(
+                workloads=workloads,
+                systems=_split(args.systems),
+                links=_split(args.links),
+                ratios=[float(r) for r in _split(args.ratios)],
+                batch_sizes=[int(b) for b in batches] if batches else None,
+                scale=args.scale,
+            )
+        points = grid.expand()
+        if args.jobs < 1:
+            raise ConfigurationError(f"--jobs must be >= 1: {args.jobs}")
+    except (ConfigurationError, OSError, ValueError) as exc:
+        print(f"bad sweep spec: {exc}", file=sys.stderr)
+        return 2
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    where = "off" if cache is None else str(cache.root)
+    print(f"{len(points)} points, jobs={args.jobs}, cache={where}")
+    report = run_sweep(points, jobs=args.jobs, cache=cache, progress=print)
+    print()
+    print(sweep_summary_table([(p.label, r) for p, r in report.rows()]))
+    print(
+        f"\n{report.simulated} simulated, {report.cached} cached, "
+        f"{report.wall_seconds:.2f} s wall"
+    )
+    if args.csv:
+        rows = [result for result in report.results if result is not None]
+        with open(args.csv, "w") as handle:
+            handle.write(results_to_csv(rows))
+        print(f"wrote {len(rows)} rows to {args.csv}")
     return 0
 
 
@@ -218,6 +265,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="reproduction_report.md", help="report path"
     )
     reproduce.set_defaults(func=cmd_reproduce)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative grid of points with caching and workers",
+    )
+    sweep.add_argument(
+        "--grid", help="JSON grid-spec file (see docs/SWEEPS.md)"
+    )
+    sweep.add_argument(
+        "--workloads",
+        help="comma list: fir,radix,hashjoin,dl:vgg16,dl:darknet19,"
+        "dl:resnet53,dl:rnn",
+    )
+    sweep.add_argument(
+        "--systems",
+        default="UVM-opt,UvmDiscard,UvmDiscardLazy",
+        help="comma list of evaluated systems",
+    )
+    sweep.add_argument("--links", default="gen4", help="comma list: gen3,gen4")
+    sweep.add_argument(
+        "--ratios",
+        default="2.0",
+        help="comma list of oversubscription ratios (micro workloads)",
+    )
+    sweep.add_argument(
+        "--batches",
+        help="comma list of DL batch sizes (default: each network's "
+        "paper grid)",
+    )
+    sweep.add_argument("--scale", type=float, default=0.125)
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for cache misses"
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="always re-simulate"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help=f"cache root (default .repro_cache/sweeps, or ${CACHE_ENV})",
+    )
+    sweep.add_argument("--csv", help="also write raw rows to this CSV file")
+    sweep.set_defaults(func=cmd_sweep)
 
     sub.add_parser("demo", help="run the VectorAdd demo").set_defaults(
         func=cmd_demo

@@ -2,12 +2,22 @@
 
 Shared machinery for the paper's evaluation methodology (§7.1): the
 idle-occupant oversubscription setup, the three compared systems
-(UVM-opt / UvmDiscard / UvmDiscardLazy), result records and the text
-tables the benchmarks print.
+(UVM-opt / UvmDiscard / UvmDiscardLazy), result records, the text
+tables the benchmarks print, and the declarative sweep engine
+(:mod:`repro.harness.sweep`) that batches points across a worker pool
+with on-disk result caching.
 """
 
 from repro.harness.oversubscribe import apply_oversubscription, occupant_bytes
 from repro.harness.results import ExperimentResult, ResultTable
+from repro.harness.sweep import (
+    ResultCache,
+    SweepGrid,
+    SweepPoint,
+    SweepReport,
+    execute_point,
+    run_sweep,
+)
 from repro.harness.systems import DiscardPolicy, System
 from repro.harness.validation import check_driver_invariants
 
@@ -16,6 +26,12 @@ __all__ = [
     "occupant_bytes",
     "ExperimentResult",
     "ResultTable",
+    "ResultCache",
+    "SweepGrid",
+    "SweepPoint",
+    "SweepReport",
+    "execute_point",
+    "run_sweep",
     "System",
     "DiscardPolicy",
     "check_driver_invariants",

@@ -8,8 +8,8 @@ line with the published numbers (recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cuda.runtime import CudaRuntime
 from repro.units import to_gb
@@ -54,6 +54,28 @@ class ExperimentResult:
             counters=runtime.driver.counters.as_dict(),
             metric=metric,
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form, for the sweep cache and report files."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; rejects unknown/missing fields so
+        corrupt cache entries surface as errors, not garbage rows."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown result fields: {sorted(unknown)}")
+        optional = ("counters", "metric")
+        missing = {
+            f.name
+            for f in fields(cls)
+            if f.name not in data and f.name not in optional
+        }
+        if missing:
+            raise ValueError(f"missing result fields: {sorted(missing)}")
+        return cls(**data)  # type: ignore[arg-type]
 
 
 class ResultTable:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from decimal import ROUND_HALF_UP, Decimal
 from typing import Callable, Optional
 
 from repro.cuda.device import GpuSpec, HostSpec
@@ -37,7 +38,16 @@ def run_uvm_experiment(
 
 
 def ratio_label(ratio: float) -> str:
-    """The paper's column label for an oversubscription ratio."""
+    """The paper's column label for an oversubscription ratio.
+
+    Ratios at or below 1.0 are the "fits" column ("<100%"); anything
+    above rounds half-up to a whole percent (1.25 -> "125%").  Decimal
+    arithmetic keeps binary-float artifacts (2.675 * 100 ==
+    267.49999...) from shifting a column name.
+    """
     if ratio <= 1.0:
         return "<100%"
-    return f"{ratio * 100:.0f}%"
+    percent = (Decimal(str(ratio)) * 100).quantize(
+        Decimal("1"), rounding=ROUND_HALF_UP
+    )
+    return f"{percent}%"

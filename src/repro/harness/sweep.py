@@ -1,0 +1,531 @@
+"""Declarative experiment sweeps: grids, caching, parallel execution.
+
+Every table and figure in the paper is a grid of independent simulation
+points — (workload x system x link x oversubscription ratio / batch size
+x driver config).  This module is the one engine that runs such grids:
+
+- :class:`SweepPoint` names one cell declaratively (plain strings and
+  numbers, picklable and JSON-able),
+- :class:`SweepGrid` expands a compact grid spec into points,
+- :func:`execute_point` runs one point to an
+  :class:`~repro.harness.results.ExperimentResult` (or ``None`` when the
+  configuration does not fit, e.g. No-UVM under oversubscription),
+- :class:`ResultCache` memoizes finished points on disk, keyed by a
+  stable content hash of the *full* point configuration, so re-running a
+  sweep only simulates points whose inputs changed,
+- :func:`run_sweep` drives a batch of points through a
+  ``multiprocessing`` worker pool (each point is a CPU-bound
+  deterministic simulation, so processes — not threads — scale it).
+
+The CLI's ``sweep`` subcommand, the ``run``/``reproduce`` commands and
+the ``benchmarks/`` figure regenerators all go through this API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import ratio_label
+from repro.harness.systems import System
+
+#: Bump when the cache entry schema or simulator semantics change in a
+#: way that must invalidate previously stored results.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: The paper's per-network batch-size grids (Figures 5/6/7, §7.5).
+DL_BATCH_GRID: Dict[str, Tuple[int, ...]] = {
+    "vgg16": (50, 75, 100, 125, 150),
+    "darknet19": (86, 171, 260, 360),
+    "resnet53": (28, 56, 100, 150),
+    "rnn": (75, 150, 225, 300),
+}
+
+MICRO_WORKLOADS = ("fir", "radix", "hashjoin")
+LINK_NAMES = ("gen3", "gen4")
+GPU_NAMES = ("rtx3080ti", "gtx1070", "a100")
+
+_SYSTEM_VALUES = {s.value for s in System}
+_SYSTEM_BY_NAME = {s.name: s.value for s in System}
+
+
+def default_cache_dir() -> Path:
+    """Where sweep results are cached (override: ``REPRO_SWEEP_CACHE``)."""
+    return Path(os.environ.get(CACHE_ENV, ".repro_cache/sweeps"))
+
+
+def _normalize_system(system: Union[System, str]) -> str:
+    if isinstance(system, System):
+        return system.value
+    if system in _SYSTEM_VALUES:
+        return system
+    if system in _SYSTEM_BY_NAME:
+        return _SYSTEM_BY_NAME[system]
+    raise ConfigurationError(
+        f"unknown system {system!r}; expected one of {sorted(_SYSTEM_VALUES)}"
+    )
+
+
+def _normalize_driver(
+    driver: Union[Mapping[str, object], Sequence, None]
+) -> Tuple[Tuple[str, object], ...]:
+    if not driver:
+        return ()
+    items = driver.items() if isinstance(driver, Mapping) else driver
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of an experiment grid, as plain picklable data.
+
+    ``workload`` is a micro-benchmark name (``fir``/``radix``/
+    ``hashjoin``, configured by ``ratio``) or ``dl:<network>``
+    (configured by ``batch_size``).  ``driver`` holds
+    :class:`~repro.driver.config.UvmDriverConfig` field overrides.
+    """
+
+    workload: str
+    system: str
+    link: str = "gen4"
+    ratio: float = 2.0
+    batch_size: Optional[int] = None
+    scale: float = 0.125
+    gpu: str = "rtx3080ti"
+    driver: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "system", _normalize_system(self.system))
+        object.__setattr__(self, "driver", _normalize_driver(self.driver))
+        if self.is_dl:
+            network = self.workload.split(":", 1)[1]
+            if network not in DL_BATCH_GRID:
+                raise ConfigurationError(
+                    f"unknown network {network!r}; expected one of "
+                    f"{sorted(DL_BATCH_GRID)}"
+                )
+            if self.batch_size is None or self.batch_size < 1:
+                raise ConfigurationError(
+                    f"DL point {self.workload!r} needs a positive batch_size"
+                )
+        elif self.workload in MICRO_WORKLOADS:
+            if self.batch_size is not None:
+                raise ConfigurationError(
+                    f"micro workload {self.workload!r} takes a ratio, "
+                    "not a batch_size"
+                )
+            if self.ratio <= 0:
+                raise ConfigurationError(f"ratio must be positive: {self.ratio}")
+        else:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; expected one of "
+                f"{MICRO_WORKLOADS} or dl:<{'|'.join(sorted(DL_BATCH_GRID))}>"
+            )
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive: {self.scale}")
+        if self.link not in LINK_NAMES:
+            raise ConfigurationError(
+                f"unknown link {self.link!r}; expected one of {LINK_NAMES}"
+            )
+        if self.gpu not in GPU_NAMES:
+            raise ConfigurationError(
+                f"unknown gpu {self.gpu!r}; expected one of {GPU_NAMES}"
+            )
+
+    @property
+    def is_dl(self) -> bool:
+        return self.workload.startswith("dl:")
+
+    @property
+    def config_label(self) -> str:
+        """The paper-style column label of this point."""
+        if self.is_dl:
+            return f"bs={self.batch_size}"
+        return ratio_label(self.ratio)
+
+    @property
+    def label(self) -> str:
+        """Human-readable one-line identity, for progress output."""
+        return (
+            f"{self.workload}/{self.system}/{self.link}/"
+            f"{self.config_label}@x{self.scale:g}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "link": self.link,
+            "ratio": self.ratio,
+            "batch_size": self.batch_size,
+            "scale": self.scale,
+            "gpu": self.gpu,
+            "driver": dict(self.driver),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepPoint":
+        unknown = set(data) - {
+            "workload", "system", "link", "ratio", "batch_size",
+            "scale", "gpu", "driver",
+        }
+        if unknown:
+            raise ConfigurationError(f"unknown sweep-point keys: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
+
+    def cache_key(self) -> str:
+        """Stable content hash of the full point configuration."""
+        canonical = json.dumps(
+            {"version": CACHE_VERSION, **self.to_dict()}, sort_keys=True
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class SweepGrid:
+    """A declarative grid that expands to the cartesian set of points.
+
+    ``batch_sizes=None`` means each DL workload uses its paper grid
+    (:data:`DL_BATCH_GRID`); micro workloads always use ``ratios``.
+    """
+
+    workloads: Sequence[str]
+    systems: Sequence[str] = ("UVM-opt", "UvmDiscard", "UvmDiscardLazy")
+    links: Sequence[str] = ("gen4",)
+    ratios: Sequence[float] = (2.0,)
+    batch_sizes: Optional[Sequence[int]] = None
+    scale: float = 0.125
+    gpus: Sequence[str] = ("rtx3080ti",)
+    driver: Mapping[str, object] = field(default_factory=dict)
+
+    def expand(self) -> List[SweepPoint]:
+        """All points, ordered workload-major then link, system, config."""
+        if not self.workloads:
+            raise ConfigurationError("a sweep grid needs at least one workload")
+        for workload in self.workloads:
+            if not isinstance(workload, str):
+                raise ConfigurationError(
+                    f"workloads must be strings, got {workload!r}"
+                )
+        points: List[SweepPoint] = []
+        for workload in self.workloads:
+            for gpu in self.gpus:
+                for link in self.links:
+                    for system in self.systems:
+                        for point in self._configs(workload, gpu, link, system):
+                            points.append(point)
+        return points
+
+    def _configs(
+        self, workload: str, gpu: str, link: str, system: str
+    ) -> Iterable[SweepPoint]:
+        common = dict(
+            workload=workload, system=system, link=link,
+            scale=self.scale, gpu=gpu, driver=dict(self.driver),
+        )
+        if workload.startswith("dl:"):
+            batches = self.batch_sizes
+            if batches is None:
+                batches = DL_BATCH_GRID[workload.split(":", 1)[1]]
+            for batch in batches:
+                yield SweepPoint(batch_size=batch, **common)
+        else:
+            for ratio in self.ratios:
+                yield SweepPoint(ratio=ratio, **common)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepGrid":
+        unknown = set(data) - {
+            "workloads", "systems", "links", "ratios", "batch_sizes",
+            "scale", "gpus", "driver",
+        }
+        if unknown:
+            raise ConfigurationError(f"unknown sweep-grid keys: {sorted(unknown)}")
+        if "workloads" not in data:
+            raise ConfigurationError("grid spec must name 'workloads'")
+        return cls(**data)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepGrid":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid grid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ConfigurationError("grid spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# point execution
+# ----------------------------------------------------------------------
+
+
+def _gpu_spec(point: SweepPoint):
+    from repro.cuda.device import a100_40gb, gtx_1070, rtx_3080ti
+
+    factory = {"rtx3080ti": rtx_3080ti, "gtx1070": gtx_1070, "a100": a100_40gb}
+    return factory[point.gpu]().scaled(point.scale)
+
+
+def _link(point: SweepPoint):
+    from repro.interconnect import pcie_gen3, pcie_gen4
+
+    return {"gen3": pcie_gen3, "gen4": pcie_gen4}[point.link]()
+
+
+def _driver_config(point: SweepPoint):
+    if not point.driver:
+        return None
+    from repro.driver.config import UvmDriverConfig
+
+    try:
+        return UvmDriverConfig(**dict(point.driver))
+    except TypeError as exc:
+        raise ConfigurationError(f"bad driver override: {exc}") from None
+
+
+def execute_point(point: SweepPoint) -> Optional[ExperimentResult]:
+    """Simulate one point; ``None`` when the configuration does not fit
+    (the paper's No-UVM OOM crash under oversubscription)."""
+    system = System(point.system)
+    gpu = _gpu_spec(point)
+    link = _link(point)
+    driver_config = _driver_config(point)
+    try:
+        if point.is_dl:
+            from repro.workloads.dl import DarknetTrainer, TrainerConfig
+            from repro.workloads.dl import darknet19, resnet53, rnn_shakespeare, vgg16
+
+            factory = {
+                "vgg16": vgg16, "darknet19": darknet19,
+                "resnet53": resnet53, "rnn": rnn_shakespeare,
+            }[point.workload.split(":", 1)[1]]
+            trainer = DarknetTrainer(
+                factory().scaled(point.scale),
+                TrainerConfig(batch_size=point.batch_size),
+                system,
+            )
+            return trainer.run(gpu, link, driver_config=driver_config)
+        if point.workload == "fir":
+            from repro.workloads.fir import FirConfig, FirWorkload
+
+            workload = FirWorkload(FirConfig().scaled(point.scale))
+        elif point.workload == "radix":
+            from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
+
+            workload = RadixSortWorkload(RadixSortConfig().scaled(point.scale))
+        else:
+            from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
+
+            workload = HashJoinWorkload(HashJoinConfig().scaled(point.scale))
+        return workload.run(
+            system, point.ratio, gpu, link, driver_config=driver_config
+        )
+    except OutOfMemoryError:
+        return None
+
+
+def _outcome_to_dict(result: Optional[ExperimentResult]) -> Dict[str, object]:
+    if result is None:
+        return {"status": "oom"}
+    return {"status": "ok", "result": result.to_dict()}
+
+
+def _outcome_from_dict(outcome: object) -> Optional[ExperimentResult]:
+    """Decode a stored outcome; raises on any corrupt/foreign shape."""
+    if not isinstance(outcome, dict):
+        raise ValueError(f"outcome is not an object: {outcome!r}")
+    status = outcome.get("status")
+    if status == "oom":
+        return None
+    if status != "ok":
+        raise ValueError(f"unknown outcome status: {status!r}")
+    return ExperimentResult.from_dict(outcome["result"])
+
+
+def _pool_worker(item: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[str, object]]:
+    """Top-level (picklable) worker: simulate one point in a subprocess."""
+    index, point_dict = item
+    point = SweepPoint.from_dict(point_dict)
+    return index, _outcome_to_dict(execute_point(point))
+
+
+# ----------------------------------------------------------------------
+# on-disk result cache
+# ----------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed on-disk store of finished sweep points.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json``; a key is the
+    sha256 of the point's canonical JSON plus :data:`CACHE_VERSION`, so
+    *any* input change — workload, system, link, ratio, batch, scale,
+    GPU, driver override, or cache schema — misses and re-simulates.
+    Unreadable or corrupt entries are treated as misses, never errors.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, point: SweepPoint) -> Path:
+        key = point.cache_key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, point: SweepPoint) -> Optional[Dict[str, object]]:
+        """The stored outcome dict, or ``None`` on miss/corruption."""
+        path = self.path_for(point)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        if payload.get("key") != point.cache_key():
+            return None
+        outcome = payload.get("outcome")
+        try:
+            _outcome_from_dict(outcome)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return outcome  # type: ignore[return-value]
+
+    def put(self, point: SweepPoint, outcome: Dict[str, object]) -> None:
+        """Atomically persist one outcome (write temp file, then rename)."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": point.cache_key(),
+            "point": point.to_dict(),
+            "outcome": outcome,
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# the sweep runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """Everything :func:`run_sweep` learned, aligned index-for-index."""
+
+    points: List[SweepPoint]
+    results: List[Optional[ExperimentResult]]
+    #: Per-point provenance: ``"cache"`` or ``"run"``.
+    provenance: List[str]
+    wall_seconds: float
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for p in self.provenance if p == "cache")
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for p in self.provenance if p == "run")
+
+    def rows(self) -> List[Tuple[SweepPoint, Optional[ExperimentResult]]]:
+        return list(zip(self.points, self.results))
+
+    def to_json(self) -> str:
+        """Canonical serialization of (point, outcome) pairs.
+
+        Independent of execution order, job count and cache state — two
+        reports over the same points compare byte-for-byte equal exactly
+        when every simulated value matches.
+        """
+        return json.dumps(
+            [
+                {"point": point.to_dict(), "outcome": _outcome_to_dict(result)}
+                for point, result in self.rows()
+            ],
+            sort_keys=True,
+            indent=1,
+        )
+
+
+def run_sweep(
+    points: Union[SweepGrid, Iterable[SweepPoint]],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Execute a batch of sweep points, using the cache and worker pool.
+
+    ``jobs > 1`` simulates cache misses across a process pool; hits are
+    served inline.  Results are returned in point order regardless of
+    completion order, so output is deterministic for any job count.
+    """
+    if isinstance(points, SweepGrid):
+        points = points.expand()
+    points = list(points)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1: {jobs}")
+    started = time.monotonic()
+    total = len(points)
+    results: List[Optional[ExperimentResult]] = [None] * total
+    provenance: List[str] = ["run"] * total
+    done = 0
+
+    def note(index: int, source: str) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            point = points[index]
+            suffix = "cached" if source == "cache" else "simulated"
+            progress(f"[{done}/{total}] {suffix} {point.label}")
+
+    pending: List[int] = []
+    for index, point in enumerate(points):
+        outcome = cache.get(point) if cache is not None else None
+        if outcome is not None:
+            results[index] = _outcome_from_dict(outcome)
+            provenance[index] = "cache"
+            note(index, "cache")
+        else:
+            pending.append(index)
+
+    def finish(index: int, outcome: Dict[str, object]) -> None:
+        results[index] = _outcome_from_dict(outcome)
+        if cache is not None:
+            cache.put(points[index], outcome)
+        note(index, "run")
+
+    if len(pending) > 1 and jobs > 1:
+        work = [(index, points[index].to_dict()) for index in pending]
+        with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
+            for index, outcome in pool.imap_unordered(_pool_worker, work):
+                finish(index, outcome)
+    else:
+        for index in pending:
+            finish(index, _outcome_to_dict(execute_point(points[index])))
+
+    return SweepReport(points, results, provenance, time.monotonic() - started)

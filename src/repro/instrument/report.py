@@ -67,6 +67,35 @@ def results_to_markdown(
     return "\n".join(lines)
 
 
+def sweep_summary_table(
+    rows: Sequence[tuple],
+    fields: Sequence[str] = ("elapsed_seconds", "traffic_gb", "redundant_gb", "metric"),
+) -> str:
+    """Render sweep results as one aligned text table.
+
+    ``rows`` are ``(label, result_or_None)`` pairs — the shape of
+    :meth:`repro.harness.sweep.SweepReport.rows` after replacing each
+    point with its ``label``.  A ``None`` result renders as ``OOM``
+    (the configuration did not fit).
+    """
+    label_width = max([len("point"), *(len(str(label)) for label, _ in rows)]) + 2
+    col = 16
+    lines = [
+        f"{'point':<{label_width}}"
+        + f"{'status':>8}"
+        + "".join(f"{f:>{col}}" for f in fields)
+    ]
+    for label, result in rows:
+        if result is None:
+            cells = f"{'OOM':>8}" + "".join(f"{'-':>{col}}" for _ in fields)
+        else:
+            cells = f"{'ok':>8}" + "".join(
+                f"{_fmt(getattr(result, f), 4):>{col}}" for f in fields
+            )
+        lines.append(f"{str(label):<{label_width}}" + cells)
+    return "\n".join(lines)
+
+
 def speedup_summary(
     results: Sequence[ExperimentResult], baseline_system: str
 ) -> str:

@@ -28,6 +28,7 @@ from repro.access import AccessMode
 from repro.cuda.device import GpuSpec
 from repro.cuda.kernel import BufferAccess, KernelSpec
 from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
 from repro.errors import ConfigurationError
 from repro.harness.results import ExperimentResult
 from repro.harness.runner import run_uvm_experiment
@@ -344,6 +345,7 @@ class DarknetTrainer:
         gpu: GpuSpec,
         link: Link,
         config_label: Optional[str] = None,
+        driver_config: Optional[UvmDriverConfig] = None,
     ) -> ExperimentResult:
         """Train and snapshot a result row; metric is images/second."""
         label = config_label or f"bs={self.config.batch_size}"
@@ -355,5 +357,6 @@ class DarknetTrainer:
             ratio=1.0,  # DL oversubscribes via batch size, not an occupant
             gpu=gpu,
             link=link,
+            driver_config=driver_config,
             metric=self.images_per_second,
         )

@@ -30,6 +30,7 @@ from repro.access import AccessMode
 from repro.cuda.device import GpuSpec
 from repro.cuda.kernel import BufferAccess, KernelSpec
 from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
 from repro.errors import ConfigurationError
 from repro.gpu.access import SequentialPattern
 from repro.harness.results import ExperimentResult
@@ -144,6 +145,7 @@ class FirWorkload:
         ratio: float,
         gpu: GpuSpec,
         link: Link,
+        driver_config: Optional[UvmDriverConfig] = None,
     ) -> ExperimentResult:
         """Run one Table 3/4 cell."""
         return run_uvm_experiment(
@@ -154,4 +156,5 @@ class FirWorkload:
             ratio,
             gpu,
             link,
+            driver_config=driver_config,
         )

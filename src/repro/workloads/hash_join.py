@@ -38,6 +38,7 @@ from repro.access import AccessMode
 from repro.cuda.device import GpuSpec
 from repro.cuda.kernel import BufferAccess, KernelSpec
 from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
 from repro.errors import ConfigurationError
 from repro.gpu.access import SequentialPattern, StridedPattern
 from repro.harness.results import ExperimentResult
@@ -197,6 +198,7 @@ class HashJoinWorkload:
         ratio: float,
         gpu: GpuSpec,
         link: Link,
+        driver_config: Optional[UvmDriverConfig] = None,
     ) -> ExperimentResult:
         """Run one Table 7/8 cell."""
         return run_uvm_experiment(
@@ -207,4 +209,5 @@ class HashJoinWorkload:
             ratio,
             gpu,
             link,
+            driver_config=driver_config,
         )

@@ -31,6 +31,7 @@ from repro.access import AccessMode
 from repro.cuda.device import GpuSpec
 from repro.cuda.kernel import BufferAccess, KernelSpec
 from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
 from repro.errors import ConfigurationError
 from repro.gpu.access import IrregularPattern, SequentialPattern
 from repro.harness.results import ExperimentResult
@@ -167,6 +168,7 @@ class RadixSortWorkload:
         gpu: GpuSpec,
         link: Link,
         prefetch: Optional[bool] = None,
+        driver_config: Optional[UvmDriverConfig] = None,
     ) -> ExperimentResult:
         """Run one Table 5/6 cell."""
         return run_uvm_experiment(
@@ -177,4 +179,5 @@ class RadixSortWorkload:
             ratio,
             gpu,
             link,
+            driver_config=driver_config,
         )

@@ -22,6 +22,22 @@ def tiny_gpu(memory_mib: int = 64, name: str = "gpu0") -> GpuSpec:
     )
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ snapshots instead of diffing "
+        "against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should regenerate golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def runtime() -> CudaRuntime:
     """A runtime with a 64 MiB GPU and strict semantics checking."""

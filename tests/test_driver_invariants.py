@@ -1,0 +1,310 @@
+"""Property-style driver invariant tests over seeded random host programs.
+
+No external property-testing framework: each test drives the runtime
+with a reproducible ``random.Random(seed)`` stream of CUDA-style
+operations (host writes, prefetches, kernel launches, eager and lazy
+discards, frees) against a deliberately tiny GPU so eviction fires
+constantly, and re-checks three structural invariants of the UVM driver
+at every quiescent point:
+
+1. **Exclusive residency** — every va_block is mapped on at most one
+   processor, and only on the processor it is resident on (§2.2).
+2. **Queue partition** — the free/unused/used/discarded queues of each
+   GPU partition its physical frames: used and discarded are disjoint,
+   their union plus the unused FIFO accounts for every allocated frame,
+   and free + allocated equals capacity (§5.5).
+3. **Discarded pages are never transferred** — from the moment a discard
+   completes until the program writes the block again, no interconnect
+   transfer may touch the block: eviction reclaims it silently and
+   re-access zero-fills instead of migrating dead data (§5.3).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import tiny_gpu
+
+from repro.access import AccessMode
+from repro.cuda.kernel import BufferAccess, KernelSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.driver.config import UvmDriverConfig
+from repro.harness.validation import check_driver_invariants
+from repro.units import MIB
+
+CPU = "cpu"
+BLOCK_MIB = 2
+
+
+class InvariantChecker:
+    """Re-checks the driver invariants; call at quiescent points only."""
+
+    def __init__(self, runtime: CudaRuntime) -> None:
+        self.runtime = runtime
+        self.driver = runtime.driver
+        #: Block indices whose data is dead (discarded, not yet rewritten).
+        self.quarantined = set()
+        self._records_seen = 0
+
+    # -- quarantine bookkeeping ----------------------------------------
+
+    def quarantine(self, blocks) -> None:
+        self.quarantined.update(b.index for b in blocks)
+
+    def release(self, blocks) -> None:
+        self.quarantined.difference_update(b.index for b in blocks)
+
+    # -- the three properties ------------------------------------------
+
+    def check(self) -> None:
+        check_driver_invariants(self.driver)
+        self._check_exclusive_residency()
+        self._check_queue_partition()
+        self._check_no_dead_transfers()
+
+    def _page_tables(self):
+        yield CPU, self.driver.cpu_page_table
+        for name in self.driver.gpu_names():
+            yield name, self.driver.gpu_page_table(name)
+
+    def _check_exclusive_residency(self) -> None:
+        frames_seen = set()
+        for index, block in self.driver._blocks.items():
+            mapped_on = [
+                proc
+                for proc, table in self._page_tables()
+                if table.is_mapped(index)
+            ]
+            assert len(mapped_on) <= 1, (
+                f"block {index} mapped on {mapped_on}: residency must be "
+                "exclusive"
+            )
+            if mapped_on:
+                assert mapped_on[0] == block.residency, (
+                    f"block {index} mapped on {mapped_on[0]} but resident "
+                    f"on {block.residency}"
+                )
+            if block.frame is not None:
+                assert id(block.frame) not in frames_seen, (
+                    f"block {index} shares frame {block.frame!r} with "
+                    "another block"
+                )
+                frames_seen.add(id(block.frame))
+
+    def _check_queue_partition(self) -> None:
+        for name in self.driver.gpu_names():
+            state = self.driver._gpu(name)
+            queues = state.queues
+            allocator = state.allocator
+            used = {b.index for b in queues.used}
+            discarded = {b.index for b in queues.discarded}
+            assert used.isdisjoint(discarded), (
+                f"{name}: blocks {sorted(used & discarded)} in both the "
+                "used and discarded queues"
+            )
+            accounted = len(used) + len(discarded) + len(queues.unused)
+            assert accounted == allocator.used_frames, (
+                f"{name}: queues account for {accounted} frames but the "
+                f"allocator has {allocator.used_frames} in use"
+            )
+            assert (
+                allocator.free_frames + allocator.used_frames
+                == allocator.capacity_frames
+            ), f"{name}: free + used != capacity"
+            # The frames backing queued blocks are pairwise distinct and
+            # distinct from the unused FIFO's detached frames.
+            backing = [b.frame for b in queues.used] + [
+                b.frame for b in queues.discarded
+            ]
+            assert all(f is not None for f in backing)
+            identities = {id(f) for f in backing} | {id(f) for f in queues.unused}
+            assert len(identities) == accounted, (
+                f"{name}: queue frames are not pairwise distinct"
+            )
+
+    def _check_no_dead_transfers(self) -> None:
+        records = self.driver.traffic.records
+        fresh, self._records_seen = (
+            records[self._records_seen :],
+            len(records),
+        )
+        for rec in fresh:
+            if rec.first_block is None or rec.num_blocks <= 0:
+                continue
+            span = set(range(rec.first_block, rec.first_block + rec.num_blocks))
+            dead = sorted(span & self.quarantined)
+            assert not dead, (
+                f"{rec.nbytes} B {rec.reason.short} transfer at t={rec.time} "
+                f"touched discarded blocks {dead}: discarded data must "
+                "never cross the link"
+            )
+
+
+def _kernel(name, buffer, mode):
+    return KernelSpec(
+        name=name,
+        accesses=[BufferAccess(buffer=buffer, mode=mode)],
+        duration=1e-6,
+    )
+
+
+def random_program(rng: random.Random, steps: int):
+    """A reproducible host program exercising every driver path.
+
+    Two 12 MiB buffers against a 16 MiB GPU (8 frames) keeps the
+    eviction path hot; op weights favour the discard interactions the
+    invariants are about.
+    """
+
+    def program(cuda: CudaRuntime):
+        checker = InvariantChecker(cuda)
+        buffers = [
+            cuda.malloc_managed(6 * BLOCK_MIB * MIB, f"buf{i}")
+            for i in range(2)
+        ]
+
+        def settle():
+            yield from cuda.synchronize()
+            checker.check()
+
+        for step in range(steps):
+            buf = rng.choice(buffers)
+            op = rng.choice(
+                (
+                    "host_write",
+                    "host_write_part",
+                    "host_read",
+                    "prefetch",
+                    "kernel_read",
+                    "kernel_write",
+                    "discard_eager",
+                    "discard_lazy",
+                    "free_realloc",
+                )
+            )
+            # Every re-access of a discarded block *revives* it (§5.7):
+            # the driver zero-fills or remaps, marks it populated, and
+            # from then on may legitimately transfer it again.  So each
+            # access op below settles with the quarantine still active
+            # (catching a revival that moved dead data) and releases the
+            # touched blocks afterwards.
+            if op == "host_write":
+                yield from cuda.host_write(buf)
+                yield from settle()
+                checker.release(buf.blocks)
+            elif op == "host_write_part":
+                offset = rng.randrange(0, buf.nbytes - MIB)
+                length = rng.randrange(MIB, buf.nbytes - offset + 1)
+                rng_ = buf.subrange(offset, length)
+                yield from cuda.host_write(buf, rng_)
+                yield from settle()
+                checker.release(buf.blocks_in(rng_))
+            elif op == "host_read":
+                # Reads of dead data are legal with a non-strict oracle
+                # and must be serviced by zero-fill, not a transfer.
+                yield from cuda.host_read(buf)
+                yield from settle()
+                checker.release(buf.blocks)
+            elif op == "prefetch":
+                cuda.prefetch_async(buf)
+                yield from settle()
+                checker.release(buf.blocks)
+            elif op == "kernel_read":
+                cuda.launch(_kernel(f"read{step}", buf, AccessMode.READ))
+                yield from settle()
+                checker.release(buf.blocks)
+            elif op == "kernel_write":
+                cuda.launch(_kernel(f"write{step}", buf, AccessMode.WRITE))
+                yield from settle()
+                checker.release(buf.blocks)
+            elif op == "discard_eager":
+                # Streams are quiescent here, so everything recorded
+                # between now and the next check comes from the discard
+                # itself — which must never move data.  The quarantine
+                # then persists until the next access revives the blocks.
+                cuda.discard_async(buf, mode="eager")
+                checker.quarantine(buf.blocks)
+                yield from settle()
+            elif op == "discard_lazy":
+                # §5.2 contract: lazy discard, then the mandatory
+                # prefetch, then the overwrite — checking after each.
+                # The prefetch ends the dead window: it re-arms sw_dirty,
+                # announcing reuse, so the driver may transfer again.
+                cuda.discard_async(buf, mode="lazy")
+                checker.quarantine(buf.blocks)
+                yield from settle()
+                checker.release(buf.blocks)
+                cuda.prefetch_async(buf)
+                yield from settle()
+                cuda.launch(_kernel(f"refill{step}", buf, AccessMode.WRITE))
+                yield from settle()
+            elif op == "free_realloc":
+                # Freeing dead blocks must not move them either; check
+                # before dropping them from quarantine.  VA (and hence
+                # block indices) may be reused by the next allocation.
+                cuda.free(buf)
+                checker.check()
+                checker.release(buf.blocks)
+                nblocks = rng.randrange(3, 7)
+                replacement = cuda.malloc_managed(
+                    nblocks * BLOCK_MIB * MIB, f"buf{step}"
+                )
+                buffers[buffers.index(buf)] = replacement
+                yield from settle()
+
+        yield from cuda.synchronize()
+        checker.check()
+
+    return program
+
+
+CONFIGS = {
+    "default": {},
+    "no-discard-queue": {"discarded_queue_enabled": False},
+    "fifo-eviction": {"eviction_policy": "fifo"},
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("seed", range(6))
+def test_random_programs_preserve_invariants(seed, config_name):
+    config = UvmDriverConfig(
+        strict_lazy=False,
+        keep_transfer_records=True,
+        **CONFIGS[config_name],
+    )
+    runtime = CudaRuntime(gpu=tiny_gpu(memory_mib=16), driver_config=config)
+    runtime.run(random_program(random.Random(seed), steps=40))
+
+
+def test_discarded_block_revived_without_transfer():
+    """Directed: discard, evict pressure, re-access — zero new traffic
+    for the discarded buffer until it is rewritten."""
+    config = UvmDriverConfig(strict_lazy=False, keep_transfer_records=True)
+    runtime = CudaRuntime(gpu=tiny_gpu(memory_mib=16), driver_config=config)
+
+    def program(cuda: CudaRuntime):
+        checker = InvariantChecker(cuda)
+        dead = cuda.malloc_managed(6 * BLOCK_MIB * MIB, "dead")
+        live = cuda.malloc_managed(6 * BLOCK_MIB * MIB, "live")
+        yield from cuda.host_write(dead)
+        cuda.prefetch_async(dead)
+        yield from cuda.synchronize()
+        cuda.discard_async(dead, mode="eager")
+        yield from cuda.synchronize()
+        checker.check()
+        checker.quarantine(dead.blocks)
+        # Pressure the GPU so the discarded frames must be reclaimed...
+        yield from cuda.host_write(live)
+        cuda.prefetch_async(live)
+        yield from cuda.synchronize()
+        checker.check()
+        # ...and re-read the dead buffer: zero-fill, never a migration.
+        cuda.launch(_kernel("reread", dead, AccessMode.READ))
+        yield from cuda.synchronize()
+        checker.check()
+        assert checker.quarantined  # still dead: nothing rewrote it
+
+    runtime.run(program)

@@ -1,0 +1,94 @@
+"""Golden-trace regression tests.
+
+Two small but representative sweep points — one micro-benchmark (FIR
+under 2x oversubscription) and one DL training point (VGG-16) — are
+simulated end to end and every number in their
+:class:`~repro.harness.results.ExperimentResult` (headline metrics plus
+the full counter dictionary) is compared against a snapshot checked in
+under ``tests/golden/``.
+
+The simulator is deterministic, so *any* drift in these numbers means a
+behavioural change in the driver, the cost model or the workloads.  When
+a change is intentional, regenerate the snapshots and commit them::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trace.py --update-golden
+
+On mismatch the failure lists each divergent key with its golden and
+actual value, rather than dumping two opaque JSON blobs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.sweep import SweepPoint, execute_point
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Snapshot name -> the sweep point it pins down.
+GOLDEN_POINTS = {
+    "fir_discard_200pct": SweepPoint(
+        workload="fir", system="UvmDiscard", ratio=2.0, scale=0.01
+    ),
+    "dl_vgg16_discard_bs8": SweepPoint(
+        workload="dl:vgg16", system="UvmDiscard", batch_size=8, scale=0.03125
+    ),
+}
+
+
+def _flatten(result_dict):
+    """One flat {key: value} map: counters are inlined as counters.<k>."""
+    flat = {}
+    for key, value in sorted(result_dict.items()):
+        if isinstance(value, dict):
+            for sub, subvalue in sorted(value.items()):
+                flat[f"{key}.{sub}"] = subvalue
+        else:
+            flat[key] = value
+    return flat
+
+
+def _diff(golden, actual):
+    """Readable per-key drift report between two flattened snapshots."""
+    lines = []
+    for key in sorted(set(golden) | set(actual)):
+        if key not in golden:
+            lines.append(f"  {key}: (absent in golden) -> {actual[key]!r}")
+        elif key not in actual:
+            lines.append(f"  {key}: {golden[key]!r} -> (absent in result)")
+        elif golden[key] != actual[key]:
+            lines.append(f"  {key}: {golden[key]!r} -> {actual[key]!r}")
+    return lines
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINTS))
+def test_golden_trace(name, update_golden):
+    point = GOLDEN_POINTS[name]
+    result = execute_point(point)
+    assert result is not None, f"{point.label} unexpectedly hit OOM"
+    snapshot = {"point": point.to_dict(), "result": result.to_dict()}
+    path = GOLDEN_DIR / f"{name}.json"
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"rewrote {path}")
+
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        "'python -m pytest tests/test_golden_trace.py --update-golden'"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["point"] == snapshot["point"], (
+        f"{name}: the pinned sweep point itself changed; regenerate the "
+        "snapshot with --update-golden if intentional"
+    )
+    drift = _diff(_flatten(golden["result"]), _flatten(snapshot["result"]))
+    assert not drift, (
+        f"{name}: simulation drifted from tests/golden/{name}.json "
+        "(golden -> actual); if the change is intentional, rerun with "
+        "--update-golden and commit the new snapshot:\n" + "\n".join(drift)
+    )

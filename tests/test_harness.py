@@ -131,6 +131,20 @@ class TestRunner:
         assert ratio_label(1.0) == "<100%"
         assert ratio_label(2.0) == "200%"
 
+    def test_ratio_label_boundaries(self):
+        # At or below 1.0 is the paper's "fits" column; just above it
+        # rounds to a plain whole-percent header.
+        assert ratio_label(1.001) == "100%"
+        assert ratio_label(1.25) == "125%"
+        assert ratio_label(1.5) == "150%"
+
+    def test_ratio_label_rounds_half_up_decimally(self):
+        # 2.675 * 100 is 267.49999... in binary floats; the label must
+        # still round the *decimal* value half-up to 268%.
+        assert ratio_label(2.675) == "268%"
+        assert ratio_label(1.125) == "113%"
+        assert ratio_label(3.9999) == "400%"
+
     def test_run_uvm_experiment_end_to_end(self):
         def program(cuda):
             buffer = cuda.malloc_managed(8 * MIB)
