@@ -21,10 +21,16 @@ class AccessMode(enum.Enum):
     #: Prior contents are both read and updated (read-modify-write).
     READWRITE = "readwrite"
 
-    @property
-    def reads(self) -> bool:
-        return self in (AccessMode.READ, AccessMode.READWRITE)
+    #: Whether prior contents are consumed / updated.  Plain member
+    #: attributes (assigned below) rather than properties: the driver
+    #: queries these once per touched block per wave.
+    reads: bool
+    writes: bool
 
-    @property
-    def writes(self) -> bool:
-        return self in (AccessMode.WRITE, AccessMode.READWRITE)
+
+AccessMode.READ.reads = True
+AccessMode.READ.writes = False
+AccessMode.WRITE.reads = False
+AccessMode.WRITE.writes = True
+AccessMode.READWRITE.reads = True
+AccessMode.READWRITE.writes = True

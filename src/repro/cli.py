@@ -8,6 +8,9 @@ Commands:
 - ``sweep`` — expand a declarative grid of (workload, system, link,
   ratio/batch) points, execute it across a worker pool with on-disk
   result caching, and print a summary table,
+- ``profile`` — benchmark the simulator itself (engine event churn,
+  driver fault storm, the Figure 5 macro point), write
+  ``BENCH_engine.json`` and optionally gate against a baseline,
 - ``demo`` — the VectorAdd quickstart with verified results.
 
 The heavyweight regeneration of *every* table and figure lives in
@@ -202,6 +205,65 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Benchmark the simulation kernel; see docs/PERFORMANCE.md."""
+    from repro.harness.perf import (
+        BENCHMARKS,
+        check_regressions,
+        load_bench_json,
+        run_benchmarks,
+        results_to_json,
+    )
+
+    try:
+        names = _split(args.benchmarks) or None
+        if args.cprofile:
+            import cProfile
+            import pstats
+
+            if args.cprofile not in BENCHMARKS:
+                raise KeyError(
+                    f"unknown benchmark {args.cprofile!r}; "
+                    f"have {sorted(BENCHMARKS)}"
+                )
+            profiler = cProfile.Profile()
+            profiler.enable()
+            BENCHMARKS[args.cprofile]()
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("tottime").print_stats(25)
+            return 0
+        results = run_benchmarks(names, repeat=args.repeat, progress=print)
+    except (KeyError, ValueError) as exc:
+        # KeyError str() wraps its message in quotes; unwrap for stderr.
+        message = exc.args[0] if exc.args else exc
+        print(f"bad profile spec: {message}", file=sys.stderr)
+        return 2
+    if args.output:
+        payload = results_to_json(results, repeat=args.repeat)
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {args.output}")
+    if args.check:
+        try:
+            baseline = load_bench_json(pathlib.Path(args.check).read_text())
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad baseline {args.check}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_regressions(
+            results, baseline, factor=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"within {args.max_regression:g}x of baseline {args.check} "
+            f"({len(results)} benchmarks)"
+        )
+    return 0
+
+
 def cmd_demo(_args) -> int:
     import numpy as np
 
@@ -307,6 +369,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--csv", help="also write raw rows to this CSV file")
     sweep.set_defaults(func=cmd_sweep)
+
+    profile = sub.add_parser(
+        "profile",
+        help="benchmark the simulator and write BENCH_engine.json",
+    )
+    profile.add_argument(
+        "--benchmarks",
+        help="comma list: engine_churn,fault_storm,macro_vgg16 (default all)",
+    )
+    profile.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="repeats per benchmark; wall time is the best (default 3)",
+    )
+    profile.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        help="results file (default BENCH_engine.json; '' to skip)",
+    )
+    profile.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 on regression",
+    )
+    profile.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail --check when wall time exceeds this factor (default 2.0)",
+    )
+    profile.add_argument(
+        "--cprofile",
+        metavar="BENCH",
+        help="run one benchmark under cProfile and print the top 25",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     sub.add_parser("demo", help="run the VectorAdd demo").set_defaults(
         func=cmd_demo

@@ -69,13 +69,17 @@ class DiscardManager(abc.ABC):
         targets: List[VaBlock] = []
         ignored = 0
         split: List[VaBlock] = []
+        rng_start = rng.start
+        rng_end = rng.end
+        require_full = self.driver.config.require_full_blocks
         for block in blocks:
-            block_range = block.va_range
-            if not block_range.overlaps(rng):
+            block_start = block.va_start
+            block_end = block.va_end
+            if block_start >= rng_end or rng_start >= block_end:
                 continue
-            if rng.contains_range(block_range):
+            if rng_start <= block_start and block_end <= rng_end:
                 targets.append(block)
-            elif self.driver.config.require_full_blocks:
+            elif require_full:
                 ignored += 1
             else:
                 split.append(block)

@@ -43,6 +43,8 @@ class DataOracle:
             would do: silently return wrong data).
     """
 
+    __slots__ = ("strict", "events", "_corrupted", "_guaranteed")
+
     def __init__(self, strict: bool = False) -> None:
         self.strict = strict
         self.events: List[OracleEvent] = []

@@ -71,7 +71,14 @@ class ManagedBuffer:
             return list(self.blocks)
         if not self.va_range.contains_range(rng):
             raise InvalidAddressError(f"{rng!r} is outside buffer {self.name!r}")
-        return [b for b in self.blocks if b.va_range.overlaps(rng)]
+        if rng.length == 0:
+            return []
+        # Blocks are stored in ascending contiguous index order, so the
+        # overlap set is a slice computable from the range bounds alone.
+        base = self.blocks[0].index
+        first = rng.start // BIG_PAGE - base
+        last = (rng.end - 1) // BIG_PAGE - base
+        return self.blocks[max(first, 0) : last + 1]
 
     def resident_bytes_on(self, processor: str) -> int:
         """Bytes of this buffer currently resident on ``processor``."""

@@ -114,5 +114,9 @@ class CudaStream:
 def synchronize_all(env: Environment, streams: List[CudaStream]) -> Generator:
     """`cudaDeviceSynchronize`: wait for every stream to drain."""
     tails = [s._tail for s in streams if s._tail is not None]
-    if tails:
+    if len(tails) == 1:
+        # Single-stream programs (most of the paper's workloads) need no
+        # AllOf fan-in event — wait on the one tail directly.
+        yield tails[0]
+    elif tails:
         yield env.all_of(tails)

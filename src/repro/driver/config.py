@@ -78,6 +78,17 @@ class UvmDriverConfig:
     #: mappings and transfers the remainder in 4 KiB pieces.
     require_full_blocks: bool = True
 
+    # --- transfer batching ------------------------------------------------
+    #: Batch contiguous va_blocks of one migration under a single
+    #: copy-engine hold, mirroring how the real driver issues one ranged
+    #: VA-block operation instead of one command per 2 MiB block.  Wire
+    #: times are still charged per coalesced span, so simulated times,
+    #: traffic bytes and RMT counts are identical with the knob on or
+    #: off; only the host-side event count changes (O(runs-of-blocks)
+    #: instead of O(blocks)).  Off restores the legacy per-span
+    #: request/release machinery.
+    coalesce_transfers: bool = True
+
     # --- instrumentation --------------------------------------------------
     #: Retain individual transfer records (memory-heavy; tests only).
     keep_transfer_records: bool = False

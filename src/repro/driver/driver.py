@@ -41,6 +41,10 @@ from repro.memsim.zeroing import ZeroFillModel
 from repro.vm.page_table import MappingCosts, PageTable
 
 
+#: Distinguishes "no entry" from a lazily-materialized (``None``) lock.
+_MISSING = object()
+
+
 class _Plan(enum.Enum):
     """Residency plan for one block during make-resident-on-GPU."""
 
@@ -93,7 +97,10 @@ class UvmDriver:
         self.counters = Counters()
         self.log = EventLog(enabled=self.config.event_log_enabled)
         self.oracle = oracle or DataOracle()
-        self.migration = MigrationEngine(env, link, self.traffic, self.rmt)
+        self.migration = MigrationEngine(
+            env, link, self.traffic, self.rmt,
+            coalesce=self.config.coalesce_transfers,
+        )
         # CPU PTE operations are local and cheap compared to GPU ones.
         self.cpu_page_table = PageTable(
             CPU,
@@ -109,7 +116,9 @@ class UvmDriver:
         # Per-block mutual exclusion for concurrent residency operations
         # (the simulator's equivalent of the real driver's va_block locks):
         # maps a block index to an event that fires when the in-flight
-        # operation on that block completes.
+        # operation on that block completes.  The event is materialized
+        # lazily — a lock with no waiter is just a ``None`` entry — so the
+        # common uncontended case allocates nothing.
         self._inflight: Dict[int, object] = {}
         # Per-GPU sequential-stream detection state for auto-prefetch.
         self._stream_state: Dict[str, Dict[str, int]] = {}
@@ -237,12 +246,10 @@ class UvmDriver:
                     continue
                 # Everything evictable is locked by concurrent residency
                 # operations; wait for one to finish and retry.
-                foreign = [
-                    event
-                    for index, event in self._inflight.items()
-                    if index not in own_indices
-                ]
-                if not foreign:
+                foreign_index = next(
+                    (i for i in self._inflight if i not in own_indices), None
+                )
+                if foreign_index is None:
                     raise OutOfMemoryError(
                         f"{g.name}: out of memory — this operation alone "
                         "pins more blocks than the device has frames"
@@ -253,7 +260,11 @@ class UvmDriver:
                         f"{g.name}: allocation starved — concurrent "
                         "operations pin more memory than the device has"
                     )
-                yield foreign[0]  # type: ignore[misc]
+                event = self._inflight[foreign_index]
+                if event is None:
+                    event = self.env.event()
+                    self._inflight[foreign_index] = event
+                yield event  # type: ignore[misc]
 
     def _pop_unlocked(self, pop, restore) -> Optional[VaBlock]:
         """Pop the first queue entry with no in-flight residency operation.
@@ -293,7 +304,7 @@ class UvmDriver:
                 g.queues.discarded.pop_oldest, g.queues.discarded.restore_oldest
             )
             if block is not None:
-                self._inflight[block.index] = self.env.event()
+                self._inflight[block.index] = None
                 try:
                     yield from self._reclaim_discarded(g, block)
                 finally:
@@ -304,7 +315,7 @@ class UvmDriver:
                 g.queues.used.pop_lru, g.queues.used.restore_lru
             )
             if block is not None:
-                self._inflight[block.index] = self.env.event()
+                self._inflight[block.index] = None
                 try:
                     yield from self._evict_used(g, block)
                 finally:
@@ -346,7 +357,10 @@ class UvmDriver:
         if frame is not None:
             g.allocator.free(frame)
         self.counters.bump(Counters.EVICTED_DISCARDED_BLOCKS)
-        self.log.log(self.env.now, "evict", f"reclaimed discarded block {block.index}")
+        if self.log.enabled:
+            self.log.log(
+                self.env.now, "evict", "reclaimed discarded block %d", block.index
+            )
         if cost:
             yield self.env.timeout(cost)
 
@@ -369,7 +383,8 @@ class UvmDriver:
         if frame is not None:
             g.allocator.free(frame)
         self.counters.bump(Counters.EVICTED_BLOCKS)
-        self.log.log(self.env.now, "evict", f"swapped out block {block.index}")
+        if self.log.enabled:
+            self.log.log(self.env.now, "evict", "swapped out block %d", block.index)
 
     # ------------------------------------------------------------------
     # mapping helpers
@@ -402,23 +417,29 @@ class UvmDriver:
     def _lock_blocks(self, blocks: Sequence[VaBlock]) -> Generator:
         """Wait until no residency operation is in flight on ``blocks``,
         then claim them.  Must be paired with :meth:`_unlock_blocks`."""
+        inflight = self._inflight
         while True:
-            waiting = {
-                self._inflight[b.index]
-                for b in blocks
-                if b.index in self._inflight
-            }
+            waiting = set()
+            for b in blocks:
+                index = b.index
+                if index in inflight:
+                    event = inflight[index]
+                    if event is None:
+                        event = self.env.event()
+                        inflight[index] = event
+                    waiting.add(event)
             if not waiting:
                 break
             for event in waiting:
                 yield event
         for block in blocks:
-            self._inflight[block.index] = self.env.event()
+            inflight[block.index] = None
 
     def _unlock_blocks(self, blocks: Sequence[VaBlock]) -> None:
+        inflight = self._inflight
         for block in blocks:
-            event = self._inflight.pop(block.index, None)
-            if event is not None:
+            event = inflight.pop(block.index, _MISSING)
+            if event is not None and event is not _MISSING:
                 event.succeed()  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
@@ -573,10 +594,10 @@ class UvmDriver:
                 block.populated = True
                 self._touch_used(g, block)
                 self.counters.bump(Counters.ZEROED_BLOCKS)
-                if was_discarded:
+                if was_discarded and self.log.enabled:
                     self.log.log(
                         self.env.now, "zero",
-                        f"skipped H2D transfer for discarded block {block.index}",
+                        "skipped H2D transfer for discarded block %d", block.index,
                     )
             yield self.env.timeout(cost)
 
@@ -627,7 +648,50 @@ class UvmDriver:
                     cost += source.page_table.unmap_block(block.index)
             if cost:
                 yield self.env.timeout(cost)
-            # Destination frames (may evict on the destination GPU).
+            if self.config.coalesce_transfers:
+                # Batched path: acquire every destination frame, move the
+                # whole group as coalesced spans (one ranged operation per
+                # run of contiguous blocks), then remap in one batch —
+                # how the real driver services a multi-block range.
+                source_frames = []
+                new_frames = []
+                for block in group:
+                    source_frames.append(block.frame)
+                    block.frame = None
+                for block in group:
+                    frame = yield from self._acquire_frame(g, own_indices)
+                    new_frames.append(frame)
+                if self.p2p_link is not None:
+                    yield from self.migration.transfer_blocks_peer(
+                        group, self.p2p_link, source.engines, g.engines
+                    )
+                else:
+                    yield from self.migration.transfer_blocks(
+                        group,
+                        TransferDirection.DEVICE_TO_HOST,
+                        reason,
+                        source.engines,
+                    )
+                    yield from self.migration.transfer_blocks(
+                        group,
+                        TransferDirection.HOST_TO_DEVICE,
+                        reason,
+                        g.engines,
+                    )
+                map_cost = 0.0
+                for block, source_frame, new_frame in zip(
+                    group, source_frames, new_frames
+                ):
+                    source.allocator.free(source_frame)
+                    block.frame = new_frame
+                    new_frame.prepared = True
+                    block.residency = g.name
+                    map_cost += g.page_table.map_block(block.index)
+                    self._touch_used(g, block)
+                if map_cost:
+                    yield self.env.timeout(map_cost)
+                continue
+            # Legacy path: one transfer command and remap per block.
             for block in group:
                 source_frame = block.frame
                 block.frame = None
@@ -904,14 +968,18 @@ class UvmDriver:
         Must be called after residency is established (post-fault), in
         program order.
         """
+        oracle = self.oracle
         if mode.reads:
             self.rmt.on_read(block.index)
-            self.oracle.validate_read(self.env.now, block)
+            # Inline guard for the overwhelmingly common clean read; the
+            # oracle handles corrupted and discarded-read bookkeeping.
+            if block.discarded or block.index in oracle._corrupted:
+                oracle.validate_read(self.env.now, block)
         elif mode is AccessMode.WRITE:
             self.rmt.on_overwrite(block.index)
         if mode.writes:
             block.record_write()
-            self.oracle.record_write(self.env.now, block)
+            oracle.record_write(self.env.now, block)
 
     def finalize(self) -> None:
         """End-of-run accounting: resolve all still-pending transfers."""

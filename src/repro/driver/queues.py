@@ -29,6 +29,8 @@ class UsedQueue:
     (§5.5); eviction reclaims from the least-recently-used side.
     """
 
+    __slots__ = ("_order",)
+
     def __init__(self) -> None:
         self._order: "OrderedDict[int, VaBlock]" = OrderedDict()
 
@@ -82,6 +84,8 @@ class DiscardedQueue:
     queue so that they have a higher chance to be recovered" on re-access.
     """
 
+    __slots__ = ("_order",)
+
     def __init__(self) -> None:
         self._order: "OrderedDict[int, VaBlock]" = OrderedDict()
 
@@ -126,6 +130,8 @@ class GpuPageQueues:
     any block (e.g. after a managed buffer is freed) that can be handed out
     again with no transfer and no unmapping.
     """
+
+    __slots__ = ("gpu", "unused", "used", "discarded")
 
     def __init__(self, gpu: str) -> None:
         self.gpu = gpu

@@ -69,6 +69,9 @@ class VaBlock:
         "written_since_discard",
         "version",
         "split",
+        "va_start",
+        "va_end",
+        "_va_range",
     )
 
     def __init__(
@@ -84,6 +87,11 @@ class VaBlock:
         self.index = index
         self.used_bytes = used_bytes
         self.buffer = buffer
+        #: Virtual span [va_start, va_end) as plain integers — the hot
+        #: overlap checks use these instead of building VaRange objects.
+        self.va_start = index * BIG_PAGE
+        self.va_end = self.va_start + used_bytes
+        self._va_range: Optional[VaRange] = None
         self.residency: Optional[str] = None
         self.frame: Optional[Frame] = None
         self.populated = False
@@ -101,8 +109,11 @@ class VaBlock:
 
     @property
     def va_range(self) -> VaRange:
-        """The virtual address span this block manages."""
-        return VaRange(self.index * BIG_PAGE, self.used_bytes)
+        """The virtual address span this block manages (cached)."""
+        rng = self._va_range
+        if rng is None:
+            rng = self._va_range = VaRange(self.va_start, self.used_bytes)
+        return rng
 
     @property
     def on_gpu(self) -> bool:

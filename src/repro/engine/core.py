@@ -5,17 +5,38 @@ The design follows the classic event-loop pattern: an
 Running the simulation pops events in time order and, for each, resumes the
 generator-based processes waiting on it.  The ``sequence`` counter breaks
 ties deterministically (FIFO among simultaneous events).
+
+Hot-path notes
+--------------
+This module is the innermost loop of every simulation, so it trades a
+little uniformity for speed:
+
+- every event class declares ``__slots__`` (no per-event ``__dict__``),
+- :meth:`Environment.run` inlines the step loop (no per-event method
+  dispatch through :meth:`Environment.step`, which remains available for
+  manual stepping),
+- :class:`Process` resumes through already-processed targets
+  *synchronously* instead of scheduling a proxy event per yield, so a
+  chain of satisfied dependencies costs zero heap traffic,
+- :meth:`Environment.timeout` recycles :class:`Timeout` objects through a
+  small pool.  A timeout is recycled only when the run loop can prove it
+  is unreferenced (``sys.getrefcount``), so holding on to a timeout and
+  inspecting it later remains safe.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 #: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
 _PENDING = object()
+
+#: Upper bound on the per-environment pool of recycled Timeout objects.
+_TIMEOUT_POOL_LIMIT = 128
 
 
 class Event:
@@ -25,6 +46,8 @@ class Event:
     schedules it for processing, after which every waiting process is
     resumed with the event's value (or has the exception thrown into it).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_scheduled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -88,13 +111,19 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ — timeouts are the most-allocated event
+        # kind, and they are born already triggered.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._exception = None
         self._scheduled = True
+        self.delay = delay
         env._schedule(self, delay=delay)
 
 
@@ -113,6 +142,8 @@ class Process(Event):
     returns, carrying the generator's return value; this is what makes
     ``yield env.process(child())`` work for fork/join composition.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
@@ -155,49 +186,54 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        try:
-            if event._exception is not None:
-                target = self._generator.throw(event._exception)
-            else:
-                target = self._generator.send(event._value)
-        except StopIteration as stop:
-            self._value = getattr(stop, "value", None)
-            self._scheduled = True
-            self.env._schedule(self)
-            return
-        except Interrupt:
-            # An uncaught interrupt terminates the process quietly.
-            self._value = None
-            self._scheduled = True
-            self.env._schedule(self)
-            return
-        except Exception as exc:
-            if not self.callbacks:
-                raise
-            self._exception = exc
-            self._value = exc
-            self._scheduled = True
-            self.env._schedule(self)
-            return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process yielded {target!r}; processes must yield Event instances"
-            )
-        if target.callbacks is None:
-            # Already processed: resume immediately via a proxy event.
-            proxy = Event(self.env)
-            proxy._value = target._value
-            proxy._exception = target._exception
-            proxy._scheduled = True
-            proxy.callbacks.append(self._resume)
-            self.env._schedule(proxy)
-        else:
+        generator = self._generator
+        # Resume the generator, following chains of already-processed
+        # targets synchronously: yielding a satisfied event costs one
+        # ``send`` and no heap traffic (the previous design scheduled a
+        # proxy event per such yield).
+        while True:
+            try:
+                if event._exception is not None:
+                    target = generator.throw(event._exception)
+                else:
+                    target = generator.send(event._value)
+            except StopIteration as stop:
+                self._value = getattr(stop, "value", None)
+                self._scheduled = True
+                self.env._schedule(self)
+                return
+            except Interrupt:
+                # An uncaught interrupt terminates the process quietly.
+                self._value = None
+                self._scheduled = True
+                self.env._schedule(self)
+                return
+            except Exception as exc:
+                if not self.callbacks:
+                    raise
+                self._exception = exc
+                self._value = exc
+                self._scheduled = True
+                self.env._schedule(self)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded {target!r}; processes must yield Event "
+                    "instances"
+                )
+            if target.callbacks is None:
+                # Already processed: resume with its outcome immediately.
+                event = target
+                continue
             target.callbacks.append(self._resume)
-        self._target = target
+            self._target = target
+            return
 
 
 class AllOf(Event):
     """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_children", "_remaining")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -226,10 +262,13 @@ class AllOf(Event):
 class Environment:
     """The simulation environment: virtual clock plus the event heap."""
 
+    __slots__ = ("_now", "_heap", "_sequence", "_timeout_pool")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = 0
+        self._timeout_pool: List[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -237,11 +276,24 @@ class Environment:
         return self._now
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._heap, (self._now + delay, sequence, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` seconds from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._exception = None
+            timeout._scheduled = True
+            timeout.delay = delay
+            self._schedule(timeout, delay=delay)
+            return timeout
         return Timeout(self, delay, value)
 
     def event(self) -> Event:
@@ -260,7 +312,7 @@ class Environment:
         """Process the single next event on the heap."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        time, _seq, event = heapq.heappop(self._heap)
+        time, _seq, event = heappop(self._heap)
         if time < self._now:
             raise SimulationError(f"time went backwards: {time} < {self._now}")
         self._now = time
@@ -273,24 +325,57 @@ class Environment:
         simulation time), or an :class:`Event` whose firing stops the run
         and whose value is returned.
         """
+        heap = self._heap
+        pool = self._timeout_pool
+        getrefcount = sys.getrefcount
         if isinstance(until, Event):
             sentinel = until
-            while not sentinel.processed:
-                if not self._heap:
+            while sentinel.callbacks is not None:
+                if not heap:
                     raise SimulationError(
                         "simulation starved before the awaited event fired"
                     )
-                self.step()
+                time, _seq, event = heappop(heap)
+                if time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {time} < {self._now}"
+                    )
+                self._now = time
+                callbacks = event.callbacks
+                event.callbacks = None  # type: ignore[assignment]
+                for callback in callbacks:
+                    callback(event)
+                if (
+                    type(event) is Timeout
+                    and len(pool) < _TIMEOUT_POOL_LIMIT
+                    and getrefcount(event) == 2
+                ):
+                    pool.append(event)
             if sentinel._exception is not None:
                 raise sentinel._exception
             return sentinel._value
         deadline = float(until) if until is not None else None
-        while self._heap:
-            next_time = self._heap[0][0]
-            if deadline is not None and next_time > deadline:
+        while heap:
+            if deadline is not None and heap[0][0] > deadline:
                 self._now = deadline
                 return None
-            self.step()
+            time, _seq, event = heappop(heap)
+            if time < self._now:
+                raise SimulationError(f"time went backwards: {time} < {self._now}")
+            self._now = time
+            callbacks = event.callbacks
+            event.callbacks = None  # type: ignore[assignment]
+            for callback in callbacks:
+                callback(event)
+            # Recycle plain timeouts nobody references anymore: the only
+            # live references are the loop variable and getrefcount's
+            # argument, so reuse cannot be observed from outside.
+            if (
+                type(event) is Timeout
+                and len(pool) < _TIMEOUT_POOL_LIMIT
+                and getrefcount(event) == 2
+            ):
+                pool.append(event)
         if deadline is not None and deadline > self._now:
             self._now = deadline
         return None

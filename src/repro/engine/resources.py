@@ -22,6 +22,8 @@ class Request(Event):
     :meth:`Resource.release` (or used through :meth:`Resource.acquire`).
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -34,6 +36,8 @@ class Request(Event):
 
 class Resource:
     """A FIFO resource with ``capacity`` identical slots."""
+
+    __slots__ = ("env", "capacity", "_queue", "_users")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -56,6 +60,26 @@ class Resource:
     def request(self) -> Request:
         """Create a request for one slot; yields when granted."""
         return Request(self)
+
+    def try_acquire(self) -> "Request | None":
+        """Grant a slot synchronously if one is free, else return ``None``.
+
+        The fast path for uncontended resources: no event is scheduled and
+        nothing is enqueued, so a grant costs one list append.  The
+        returned request is already processed (``yield``-able as a no-op)
+        and must be returned with :meth:`release` like any other.
+        """
+        if self._queue or len(self._users) >= self.capacity:
+            return None
+        granted = Request.__new__(Request)
+        granted.env = self.env
+        granted.callbacks = None  # born processed; waiters resume inline
+        granted._value = granted
+        granted._exception = None
+        granted._scheduled = True
+        granted.resource = self
+        self._users.append(granted)
+        return granted
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot to the pool."""
@@ -103,6 +127,8 @@ class Store:
     ``put`` never blocks.  ``get`` returns an event that fires with the
     oldest item, blocking the caller until one is available.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

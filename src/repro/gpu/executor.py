@@ -82,6 +82,10 @@ class GpuExecutor:
             waves = self._build_waves(kernel)
             compute_total = kernel.compute_seconds(self.gpu.effective_flops)
             compute_per_wave = compute_total / len(waves)
+            # A fault is simply a missing GPU mapping (gpu_needs_fault);
+            # bind the page-table probe once for the whole launch.
+            is_mapped = self.driver.gpu_page_table(self.gpu.name).is_mapped
+            note_access = self.driver.note_access
             for wave in waves:
                 # One fault batch per wave: the GPU's fault buffer fills
                 # with every miss the wave's warps produce, and the driver
@@ -89,10 +93,11 @@ class GpuExecutor:
                 missing: List[VaBlock] = []
                 seen = set()
                 for block, _mode in wave:
-                    if block.index in seen:
+                    index = block.index
+                    if index in seen:
                         continue
-                    seen.add(block.index)
-                    if self.driver.gpu_needs_fault(self.gpu.name, block):
+                    seen.add(index)
+                    if not is_mapped(index):
                         missing.append(block)
                 if missing and self.remote_access:
                     yield from self._access_remotely(missing)
@@ -101,7 +106,7 @@ class GpuExecutor:
                     yield from self.driver.handle_gpu_faults(self.gpu.name, missing)
                     self.fault_stall_seconds += self.env.now - stall_start
                 for block, mode in wave:
-                    self.driver.note_access(block, mode)
+                    note_access(block, mode)
                 if compute_per_wave > 0:
                     yield self.env.timeout(compute_per_wave)
             if kernel.fn is not None:

@@ -390,13 +390,18 @@ class ResultCache:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
 
-    def path_for(self, point: SweepPoint) -> Path:
-        key = point.cache_key()
+    def path_for(self, point: SweepPoint, key: Optional[str] = None) -> Path:
+        # The sha256 over canonical JSON is the expensive part of a cache
+        # probe; callers that already hold the key pass it to avoid
+        # hashing the same point two or three times per lookup.
+        if key is None:
+            key = point.cache_key()
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, point: SweepPoint) -> Optional[Dict[str, object]]:
         """The stored outcome dict, or ``None`` on miss/corruption."""
-        path = self.path_for(point)
+        key = point.cache_key()
+        path = self.path_for(point, key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
@@ -405,7 +410,7 @@ class ResultCache:
             return None
         if payload.get("version") != CACHE_VERSION:
             return None
-        if payload.get("key") != point.cache_key():
+        if payload.get("key") != key:
             return None
         outcome = payload.get("outcome")
         try:
@@ -416,11 +421,12 @@ class ResultCache:
 
     def put(self, point: SweepPoint, outcome: Dict[str, object]) -> None:
         """Atomically persist one outcome (write temp file, then rename)."""
-        path = self.path_for(point)
+        key = point.cache_key()
+        path = self.path_for(point, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": CACHE_VERSION,
-            "key": point.cache_key(),
+            "key": key,
             "point": point.to_dict(),
             "outcome": outcome,
         }

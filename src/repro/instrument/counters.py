@@ -7,12 +7,13 @@ each subsystem defining its own counter plumbing.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict, Iterator, Tuple
 
 
 class Counters:
     """Monotonic named counters with dict-like read access."""
+
+    __slots__ = ("_counts",)
 
     # Well-known counter names used across the driver, kept here so tests
     # and reports reference a single spelling.
@@ -31,13 +32,14 @@ class Counters:
     LAZY_MISUSES = "lazy_misuses"
 
     def __init__(self) -> None:
-        self._counts: Counter = Counter()
+        self._counts: Dict[str, int] = {}
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (must be >= 0)."""
         if amount < 0:
             raise ValueError(f"counters are monotonic; got bump({name}, {amount})")
-        self._counts[name] += amount
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
 
     def __getitem__(self, name: str) -> int:
         return self._counts.get(name, 0)

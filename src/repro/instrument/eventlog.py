@@ -4,23 +4,61 @@ An optional, human-readable trace of driver decisions (faults, evictions,
 discards, migrations) used by tests asserting ordering properties and by
 anyone debugging a workload.  Bounded so that long benchmark runs cannot
 accumulate unbounded memory.
+
+Logging is designed to be free when disabled and cheap when enabled:
+:meth:`EventLog.log` accepts ``%``-style arguments and defers the actual
+string interpolation until an entry's :attr:`~LogEntry.message` is first
+read.  Call sites therefore do no formatting work at all — pass the
+template and raw arguments, never a pre-built f-string.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Any, Deque, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
 class LogEntry:
-    time: float
-    category: str
-    message: str
+    """One log record with lazily-interpolated message text."""
+
+    __slots__ = ("time", "category", "_message", "_args")
+
+    def __init__(
+        self, time: float, category: str, message: str, *args: Any
+    ) -> None:
+        self.time = time
+        self.category = category
+        self._message = message
+        self._args: Tuple[Any, ...] = args
+
+    @property
+    def message(self) -> str:
+        """The interpolated message (formatted on first access)."""
+        if self._args:
+            self._message = self._message % self._args
+            self._args = ()
+        return self._message
 
     def __str__(self) -> str:
         return f"[{self.time * 1e6:12.2f}us] {self.category:<10} {self.message}"
+
+    def __repr__(self) -> str:
+        return (
+            f"LogEntry(time={self.time!r}, category={self.category!r}, "
+            f"message={self.message!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.message == other.message
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.category, self.message))
 
 
 class EventLog:
@@ -32,11 +70,16 @@ class EventLog:
         self.enabled = enabled
         self._entries: Deque[LogEntry] = deque(maxlen=capacity)
 
-    def log(self, time: float, category: str, message: str) -> None:
-        """Append an entry if logging is enabled (cheap no-op otherwise)."""
+    def log(self, time: float, category: str, message: str, *args: Any) -> None:
+        """Append an entry if logging is enabled (cheap no-op otherwise).
+
+        ``message`` may be a ``%``-style template with ``args`` deferred:
+        no interpolation (not even ``str()`` of the arguments) happens
+        unless the entry's text is eventually read.
+        """
         if not self.enabled:
             return
-        self._entries.append(LogEntry(time, category, message))
+        self._entries.append(LogEntry(time, category, message, *args))
 
     def __len__(self) -> int:
         return len(self._entries)

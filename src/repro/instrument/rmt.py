@@ -23,7 +23,6 @@ moves.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.instrument.traffic import TransferDirection, TransferReason
@@ -37,16 +36,26 @@ class TransferFate(enum.Enum):
     REDUNDANT = "redundant"
 
 
-@dataclass
 class _Tracked:
-    nbytes: int
-    direction: TransferDirection
-    reason: TransferReason
-    fate: TransferFate = field(default=TransferFate.PENDING)
+    __slots__ = ("nbytes", "direction", "reason", "fate")
+
+    def __init__(
+        self,
+        nbytes: int,
+        direction: TransferDirection,
+        reason: TransferReason,
+        fate: TransferFate = TransferFate.PENDING,
+    ) -> None:
+        self.nbytes = nbytes
+        self.direction = direction
+        self.reason = reason
+        self.fate = fate
 
 
 class RmtClassifier:
     """Resolves per-block transfers to useful or redundant."""
+
+    __slots__ = ("_pending", "useful_bytes", "redundant_bytes", "_finalized")
 
     def __init__(self) -> None:
         self._pending: Dict[int, List[_Tracked]] = {}
@@ -62,21 +71,29 @@ class RmtClassifier:
         reason: TransferReason,
     ) -> None:
         """Track one block's worth of a migration/eviction/prefetch."""
-        self._pending.setdefault(block_index, []).append(
-            _Tracked(nbytes, direction, reason)
-        )
+        pending = self._pending
+        chain = pending.get(block_index)
+        if chain is None:
+            chain = pending[block_index] = []
+        chain.append(_Tracked(nbytes, direction, reason))
 
     def on_read(self, block_index: int) -> None:
         """The program read the block's data: pending chain was necessary."""
-        self._resolve(block_index, TransferFate.USEFUL)
+        chain = self._pending.pop(block_index, None)
+        if chain:
+            self.useful_bytes += sum(t.nbytes for t in chain)
 
     def on_overwrite(self, block_index: int) -> None:
         """The program fully overwrote the block before reading it."""
-        self._resolve(block_index, TransferFate.REDUNDANT)
+        chain = self._pending.pop(block_index, None)
+        if chain:
+            self.redundant_bytes += sum(t.nbytes for t in chain)
 
     def on_discard(self, block_index: int) -> None:
         """The program discarded the block: its data was dead."""
-        self._resolve(block_index, TransferFate.REDUNDANT)
+        chain = self._pending.pop(block_index, None)
+        if chain:
+            self.redundant_bytes += sum(t.nbytes for t in chain)
 
     def _resolve(self, block_index: int, fate: TransferFate) -> None:
         chain = self._pending.pop(block_index, None)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional, Set
 
 from repro.errors import MappingError
 from repro.units import us
@@ -55,31 +55,46 @@ class PageTable:
     benchmarks can attribute eager-discard overhead.
     """
 
+    __slots__ = (
+        "processor",
+        "costs",
+        "_mapped",
+        "map_count",
+        "unmap_count",
+        "tlb_invalidations",
+    )
+
     def __init__(self, processor: str, costs: Optional[MappingCosts] = None) -> None:
         self.processor = processor
         self.costs = costs or MappingCosts()
-        self._entries: Dict[int, PteState] = {}
+        # A set of mapped block indices: residency checks are the single
+        # hottest query in the simulator, and a set membership test beats
+        # a dict-of-enum lookup plus identity compare.
+        self._mapped: Set[int] = set()
         self.map_count = 0
         self.unmap_count = 0
         self.tlb_invalidations = 0
 
     def state(self, block_index: int) -> PteState:
-        return self._entries.get(block_index, PteState.UNMAPPED)
+        if block_index in self._mapped:
+            return PteState.MAPPED
+        return PteState.UNMAPPED
 
     def is_mapped(self, block_index: int) -> bool:
-        return self.state(block_index) is PteState.MAPPED
+        return block_index in self._mapped
 
     @property
     def mapped_blocks(self) -> int:
-        return sum(1 for s in self._entries.values() if s is PteState.MAPPED)
+        return len(self._mapped)
 
     def map_block(self, block_index: int) -> float:
         """Establish the 2 MiB mapping; returns the time cost in seconds."""
-        if self.is_mapped(block_index):
+        mapped = self._mapped
+        if block_index in mapped:
             raise MappingError(
                 f"{self.processor}: block {block_index} is already mapped"
             )
-        self._entries[block_index] = PteState.MAPPED
+        mapped.add(block_index)
         self.map_count += 1
         return self.costs.map_block + self.costs.batch_overhead
 
@@ -90,9 +105,10 @@ class PageTable:
         invalidation covers many unmaps; the caller then charges
         :meth:`tlb_invalidate` once per batch.
         """
-        if not self.is_mapped(block_index):
+        mapped = self._mapped
+        if block_index not in mapped:
             raise MappingError(f"{self.processor}: block {block_index} not mapped")
-        self._entries[block_index] = PteState.UNMAPPED
+        mapped.discard(block_index)
         self.unmap_count += 1
         cost = self.costs.unmap_block
         if invalidate_tlb:

@@ -1,0 +1,296 @@
+"""Edge-case and fast-path regression tests for the engine kernel.
+
+The optimized engine takes shortcuts — synchronous continuation through
+already-processed events, ``try_acquire`` grants that never touch the
+heap, recycled :class:`Timeout` objects, lazily formatted log entries.
+These tests pin down the semantics the shortcuts must preserve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.core import Environment, Timeout
+from repro.engine.resources import Request, Resource, Store
+from repro.errors import SimulationError
+from repro.instrument.eventlog import EventLog, LogEntry
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestAllOfFailure:
+    def test_child_failure_propagates_to_waiter(self):
+        env = Environment()
+        seen = {}
+
+        def failing():
+            yield env.timeout(1.0)
+            raise Boom("child died")
+
+        def healthy():
+            yield env.timeout(2.0)
+            return "ok"
+
+        def waiter():
+            try:
+                yield env.all_of([env.process(failing()), env.process(healthy())])
+            except Boom as exc:
+                seen["error"] = str(exc)
+                seen["time"] = env.now
+
+        env.process(waiter())
+        env.run()
+        assert seen["error"] == "child died"
+        # The failure surfaces when the failing child dies, not when the
+        # slower sibling would have completed.
+        assert seen["time"] == pytest.approx(1.0)
+
+    def test_already_failed_child_rejected(self):
+        env = Environment()
+        failed = env.event()
+        failed.fail(Boom("pre-failed"))
+
+        def waiter():
+            with pytest.raises(Boom):
+                yield env.all_of([failed, env.timeout(1.0)])
+
+        env.process(waiter())
+        env.run()
+
+
+class TestRequestCancel:
+    def test_cancel_while_queued_skips_grant(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        granted = []
+
+        def holder():
+            request = resource.request()
+            yield request
+            yield env.timeout(1.0)
+            resource.release(request)
+
+        def cancelling_waiter():
+            request = resource.request()
+            yield env.timeout(0.5)  # still queued behind the holder
+            request.cancel()
+            granted.append(("cancelled-fired", request.triggered))
+
+        def patient_waiter():
+            request = resource.request()
+            yield request
+            granted.append(("patient", env.now))
+            resource.release(request)
+
+        env.process(holder())
+        env.process(cancelling_waiter())
+        env.process(patient_waiter())
+        env.run()
+        # The freed slot bypasses the cancelled request and goes to the
+        # next one in FIFO order; the cancelled request never fires.
+        assert ("cancelled-fired", False) in granted
+        assert ("patient", pytest.approx(1.0)) in granted
+
+    def test_cancel_of_granted_request_rejected(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        request = resource.request()  # granted immediately
+        with pytest.raises(SimulationError):
+            request.cancel()
+
+    def test_cancel_twice_rejected(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.request()  # occupies the slot
+        queued = resource.request()
+        queued.cancel()
+        with pytest.raises(SimulationError):
+            queued.cancel()
+
+
+class TestStoreOrdering:
+    def test_simultaneous_puts_wake_getters_in_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def getter(name):
+            item = yield store.get()
+            received.append((name, item, env.now))
+
+        def putter():
+            yield env.timeout(1.0)
+            # Both puts land at the same timestamp; the oldest blocked
+            # getter must receive the oldest item.
+            store.put("first")
+            store.put("second")
+
+        env.process(getter("g1"))
+        env.process(getter("g2"))
+        env.process(putter())
+        env.run()
+        assert received == [
+            ("g1", "first", pytest.approx(1.0)),
+            ("g2", "second", pytest.approx(1.0)),
+        ]
+
+    def test_put_before_get_keeps_fifo(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        out = []
+
+        def drain():
+            out.append((yield store.get()))
+            out.append((yield store.get()))
+
+        env.process(drain())
+        env.run()
+        assert out == [1, 2]
+
+
+class TestTryAcquire:
+    def test_grants_when_free_and_yield_is_noop(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def fast():
+            request = resource.try_acquire()
+            assert isinstance(request, Request)
+            yield request  # already processed: resumes without scheduling
+            order.append(("held", env.now))
+            yield env.timeout(1.0)
+            resource.release(request)
+            order.append(("released", env.now))
+
+        env.process(fast())
+        env.run()
+        assert order == [("held", 0.0), ("released", 1.0)]
+
+    def test_returns_none_when_full_or_contended(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.try_acquire()
+        assert first is not None
+        assert resource.try_acquire() is None  # full
+        waiter = resource.request()  # queues behind the grant
+        resource.release(first)
+        # waiter now holds the slot; a queue ever being non-empty must
+        # never let try_acquire jump the FIFO.
+        assert resource.in_use == 1
+        resource.release(waiter)
+        assert resource.try_acquire() is not None
+
+    def test_release_of_fast_grant_wakes_queued_waiter(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        woken = []
+
+        def fast():
+            request = resource.try_acquire()
+            yield env.timeout(1.0)
+            resource.release(request)
+
+        def slow():
+            request = resource.request()
+            yield request
+            woken.append(env.now)
+            resource.release(request)
+
+        env.process(fast())
+        env.process(slow())
+        env.run()
+        assert woken == [pytest.approx(1.0)]
+
+
+class TestTimeoutRecycling:
+    def test_many_sequential_timeouts_keep_correct_delays(self):
+        env = Environment()
+        trace = []
+
+        def ticker():
+            for i in range(1, 300):
+                yield env.timeout(i * 1e-6)
+                trace.append(env.now)
+
+        env.process(ticker())
+        env.run()
+        expected = 0.0
+        for i, now in zip(range(1, 300), trace):
+            expected += i * 1e-6
+            assert now == pytest.approx(expected)
+
+    def test_held_reference_is_not_recycled(self):
+        env = Environment()
+        kept = {}
+
+        def holder():
+            timeout = env.timeout(2.0)
+            kept["timeout"] = timeout
+            yield timeout
+            # Burn through enough further timeouts that a recycled object
+            # would have been reinitialized by now.
+            for _ in range(50):
+                yield env.timeout(0.1)
+
+        env.process(holder())
+        env.run()
+        assert isinstance(kept["timeout"], Timeout)
+        assert kept["timeout"].delay == 2.0
+
+
+class _Grenade:
+    """Formatting sentinel: any stringification is a test failure."""
+
+    def __str__(self):
+        raise AssertionError("sentinel was formatted")
+
+    __repr__ = __str__
+    __format__ = None  # belt and braces: format() would TypeError
+
+
+class TestEventLogLaziness:
+    def test_disabled_log_never_formats(self):
+        log = EventLog(enabled=False)
+        log.log(0.0, "evict", "reclaimed block %s", _Grenade())
+        assert len(log) == 0
+
+    def test_enabled_log_defers_formatting_until_read(self):
+        log = EventLog(enabled=True)
+        log.log(0.0, "evict", "reclaimed block %s", _Grenade())
+        entry = log.entries()[0]
+        assert entry._args  # still raw: nothing interpolated yet
+        with pytest.raises(AssertionError, match="sentinel was formatted"):
+            _ = entry.message
+
+    def test_interpolation_happens_once_and_caches(self):
+        class Counting:
+            calls = 0
+
+            def __str__(self):
+                Counting.calls += 1
+                return "block-7"
+
+        log = EventLog(enabled=True)
+        log.log(1.0, "fault", "migrated %s", Counting())
+        entry = log.entries()[0]
+        assert entry.message == "migrated block-7"
+        assert entry.message == "migrated block-7"
+        assert Counting.calls == 1
+
+    def test_formatted_entries_compare_and_hash_on_message(self):
+        eager = LogEntry(1.0, "fault", "migrated block-7")
+        lazy = LogEntry(1.0, "fault", "migrated %s", "block-7")
+        assert eager == lazy
+        assert hash(eager) == hash(lazy)
+        assert "migrated block-7" in str(lazy)
+
+    def test_plain_message_without_args_untouched(self):
+        log = EventLog(enabled=True)
+        log.log(0.0, "note", "literal 100%% done")
+        # No args: the template is the message, %-escapes included.
+        assert log.entries()[0].message == "literal 100%% done"

@@ -19,6 +19,7 @@ actual value, rather than dumping two opaque JSON blobs.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 
@@ -91,4 +92,30 @@ def test_golden_trace(name, update_golden):
         f"{name}: simulation drifted from tests/golden/{name}.json "
         "(golden -> actual); if the change is intentional, rerun with "
         "--update-golden and commit the new snapshot:\n" + "\n".join(drift)
+    )
+
+
+@pytest.mark.parametrize("coalesce", [True, False])
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINTS))
+def test_golden_trace_invariant_to_coalescing(name, coalesce):
+    """Transfer coalescing is a pure wall-clock optimization.
+
+    Every golden point must reproduce its committed snapshot bit-for-bit
+    with the fast path forced on *and* with the legacy per-span path —
+    same simulated times, same traffic, same counters.  There is no
+    --update-golden escape hatch here: if the two modes disagree, the
+    coalesced path has a semantics bug, not a stale snapshot.
+    """
+    point = dataclasses.replace(
+        GOLDEN_POINTS[name], driver=(("coalesce_transfers", coalesce),)
+    )
+    result = execute_point(point)
+    assert result is not None, f"{point.label} unexpectedly hit OOM"
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"missing golden snapshot {path}"
+    golden = json.loads(path.read_text())
+    drift = _diff(_flatten(golden["result"]), _flatten(result.to_dict()))
+    assert not drift, (
+        f"{name}: coalesce_transfers={coalesce} diverges from the "
+        "committed snapshot (golden -> actual):\n" + "\n".join(drift)
     )
