@@ -23,6 +23,7 @@ import pytest
 
 from repro.harness.perf import (
     BENCHMARKS,
+    NONDETERMINISTIC_KEYS,
     check_regressions,
     load_bench_json,
     run_benchmarks,
@@ -48,8 +49,12 @@ def test_suite_covers_all_benchmarks(results, baseline):
 
 @pytest.mark.parametrize("name", sorted(BENCHMARKS))
 def test_deterministic_metrics_match_baseline(results, baseline, name):
-    current = {k: v for k, v in results[name].items() if k != "wall_seconds"}
-    expected = {k: v for k, v in baseline[name].items() if k != "wall_seconds"}
+    current = {
+        k: v for k, v in results[name].items() if k not in NONDETERMINISTIC_KEYS
+    }
+    expected = {
+        k: v for k, v in baseline[name].items() if k not in NONDETERMINISTIC_KEYS
+    }
     assert current == expected
 
 
@@ -65,3 +70,13 @@ def test_wall_times_positive(results):
 def test_no_wall_time_regression(results, baseline):
     failures = check_regressions(results, baseline)
     assert not failures, "\n".join(failures)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_PERF_STRICT") != "1",
+    reason="wall-clock gate is CI-only (REPRO_PERF_STRICT=1)",
+)
+def test_sweep_prefix_speedup(results):
+    """Shared-prefix forking + fast-forward must beat cold per-point
+    execution by the margin the optimization exists for."""
+    assert results["sweep_prefix"]["speedup"] >= 1.5

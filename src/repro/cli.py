@@ -190,7 +190,13 @@ def cmd_sweep(args) -> int:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     where = "off" if cache is None else str(cache.root)
     print(f"{len(points)} points, jobs={args.jobs}, cache={where}")
-    report = run_sweep(points, jobs=args.jobs, cache=cache, progress=print)
+    report = run_sweep(
+        points,
+        jobs=args.jobs,
+        cache=cache,
+        progress=print,
+        snapshot_reuse=not args.no_snapshot_reuse,
+    )
     print()
     print(sweep_summary_table([(p.label, r) for p, r in report.rows()]))
     print(
@@ -364,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="always re-simulate"
     )
     sweep.add_argument(
+        "--no-snapshot-reuse",
+        action="store_true",
+        help="run every point cold instead of forking shared setup "
+        "prefixes from a snapshot (results are identical either way)",
+    )
+    sweep.add_argument(
         "--cache-dir",
         help=f"cache root (default .repro_cache/sweeps, or ${CACHE_ENV})",
     )
@@ -376,7 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--benchmarks",
-        help="comma list: engine_churn,fault_storm,macro_vgg16 (default all)",
+        help="comma list: engine_churn,fault_storm,macro_vgg16,"
+        "sweep_prefix (default all)",
     )
     profile.add_argument(
         "--repeat",

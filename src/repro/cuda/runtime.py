@@ -110,6 +110,35 @@ class CudaRuntime:
         self._buffer_counter = 0
         #: Start of the measured region (see :meth:`begin_measurement`).
         self.measure_start = 0.0
+        #: Scratch namespace for split-phase programs: a setup prefix
+        #: stores its buffers here and the measured body retrieves them.
+        #: Lives on the runtime (not in generator locals) so snapshots
+        #: capture it and forks see forked buffers.
+        self.session: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # snapshot/fork support
+    # ------------------------------------------------------------------
+
+    def snapshot_precheck(self) -> None:
+        """Raise :class:`~repro.errors.SnapshotError` unless this runtime
+        is quiescent and safe to deep-snapshot (see
+        :mod:`repro.engine.snapshot`)."""
+        from repro.errors import SnapshotError
+
+        if not self.env.quiescent:
+            raise SnapshotError(
+                "runtime snapshot with events still on the heap; drain the "
+                "simulation to quiescence first"
+            )
+        for stream in self._streams:
+            tail = stream._tail
+            if tail is not None and tail.callbacks is not None:
+                raise SnapshotError(
+                    f"runtime snapshot with unfinished work on stream "
+                    f"{stream.name!r}"
+                )
+        self.driver.snapshot_precheck()
 
     # ------------------------------------------------------------------
     # streams

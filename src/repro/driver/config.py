@@ -10,6 +10,7 @@ fault batch).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.units import us
 
@@ -89,11 +90,35 @@ class UvmDriverConfig:
     #: request/release machinery.
     coalesce_transfers: bool = True
 
+    # --- simulation reuse -------------------------------------------------
+    #: Allow the sweep harness to simulate a group's shared setup prefix
+    #: once, snapshot at the quiescent boundary, and fork per point.  A
+    #: pure wall-clock optimization: forked runs are bit-for-bit
+    #: identical to cold runs (see docs/PERFORMANCE.md), so this is safe
+    #: to leave on even for golden-trace reproduction.
+    snapshot_reuse: bool = True
+    #: Fast-forward strictly periodic workload phases (the DL training
+    #: loop): once ``steady_state_verify_iterations`` consecutive
+    #: iterations produce identical deltas (counters, traffic, RMT
+    #: bytes), replay the delta for the remaining iterations instead of
+    #: simulating them.  Unlike ``snapshot_reuse`` this *approximates*
+    #: simulated time (float addition order differs), so it is off by
+    #: default and rejected in golden-trace mode (event log or retained
+    #: transfer records).
+    steady_state_fastforward: bool = False
+    #: Consecutive identical iteration deltas required before the
+    #: fast-forward replay engages.
+    steady_state_verify_iterations: int = 2
+
     # --- instrumentation --------------------------------------------------
     #: Retain individual transfer records (memory-heavy; tests only).
     keep_transfer_records: bool = False
     #: Enable the bounded event log.
     event_log_enabled: bool = False
+    #: Ring-buffer capacity of the event log; the oldest entries are
+    #: dropped (and counted in ``EventLog.dropped``) once it fills.
+    #: ``None`` retains every entry — unbounded, tests only.
+    event_log_capacity: Optional[int] = 10_000
 
     def validate(self) -> None:
         """Sanity-check all cost parameters (non-negative)."""
@@ -115,3 +140,26 @@ class UvmDriverConfig:
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"UvmDriverConfig.{name} must be >= 0, got {value}")
+        if self.steady_state_verify_iterations < 1:
+            raise ValueError(
+                "UvmDriverConfig.steady_state_verify_iterations must be "
+                f">= 1, got {self.steady_state_verify_iterations}"
+            )
+        if self.event_log_capacity is not None and self.event_log_capacity < 1:
+            raise ValueError(
+                "UvmDriverConfig.event_log_capacity must be None or >= 1, "
+                f"got {self.event_log_capacity}"
+            )
+        if self.steady_state_fastforward and self.event_log_enabled:
+            raise ValueError(
+                "steady_state_fastforward cannot be combined with "
+                "event_log_enabled: replayed iterations emit no log "
+                "entries, so the trace would silently diverge from a "
+                "full simulation"
+            )
+        if self.steady_state_fastforward and self.keep_transfer_records:
+            raise ValueError(
+                "steady_state_fastforward cannot be combined with "
+                "keep_transfer_records (golden-trace mode): replayed "
+                "iterations produce no per-transfer records"
+            )

@@ -95,7 +95,10 @@ class UvmDriver:
         self.traffic = TrafficRecorder(self.config.keep_transfer_records)
         self.rmt = RmtClassifier()
         self.counters = Counters()
-        self.log = EventLog(enabled=self.config.event_log_enabled)
+        self.log = EventLog(
+            capacity=self.config.event_log_capacity,
+            enabled=self.config.event_log_enabled,
+        )
         self.oracle = oracle or DataOracle()
         self.migration = MigrationEngine(
             env, link, self.traffic, self.rmt,
@@ -122,6 +125,55 @@ class UvmDriver:
         self._inflight: Dict[int, object] = {}
         # Per-GPU sequential-stream detection state for auto-prefetch.
         self._stream_state: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # snapshot/fork support
+    # ------------------------------------------------------------------
+
+    def snapshot_precheck(self) -> None:
+        """Raise :class:`~repro.errors.SnapshotError` unless the driver's
+        state is safe to deep-snapshot.
+
+        Beyond engine quiescence this means no residency operation may be
+        mid-flight (``_inflight`` locks held) and no copy engine may hold
+        or queue a request — conditions that are implied by an empty
+        event heap but checked explicitly so a violated invariant names
+        the culprit.
+        """
+        from repro.errors import SnapshotError
+
+        if not self.env.quiescent:
+            raise SnapshotError(
+                "driver snapshot with events still on the heap; drain the "
+                "simulation first"
+            )
+        if self._inflight:
+            raise SnapshotError(
+                "driver snapshot with in-flight residency operations on "
+                f"blocks {sorted(self._inflight)}"
+            )
+        for g in self._gpus.values():
+            for engine in (g.engines.h2d, g.engines.d2h):
+                if engine.in_use or engine.queue_length:
+                    raise SnapshotError(
+                        f"driver snapshot with busy copy engine on {g.name}"
+                    )
+
+    def reconfigure(self, config: UvmDriverConfig) -> None:
+        """Swap in a new config on a forked driver.
+
+        A snapshot carries the *prefix* point's configuration; each fork
+        re-applies its own point's knobs before the measured body runs.
+        Derived objects that latch config values at construction time
+        (migration coalescing, event-log gating) are updated in place;
+        accumulated instrument state is deliberately untouched — it is
+        part of the simulation history being continued.
+        """
+        config.validate()
+        self.config = config
+        self.migration.coalesce = config.coalesce_transfers
+        self.log.enabled = config.event_log_enabled
+        self.traffic._keep_records = config.keep_transfer_records
 
     # ------------------------------------------------------------------
     # registration

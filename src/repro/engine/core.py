@@ -30,10 +30,30 @@ import sys
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SnapshotError
 
-#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
-_PENDING = object()
+
+class _PendingType:
+    """Sentinel distinguishing "no value yet" from a legitimate ``None``.
+
+    A dedicated class (instead of a bare ``object()``) so that deep
+    copies of snapshotted event graphs preserve *identity*: ``is``
+    checks against the sentinel must keep working in a forked run.
+    """
+
+    __slots__ = ()
+
+    def __copy__(self) -> "_PendingType":
+        return self
+
+    def __deepcopy__(self, memo) -> "_PendingType":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pending>"
+
+
+_PENDING = _PendingType()
 
 #: Upper bound on the per-environment pool of recycled Timeout objects.
 _TIMEOUT_POOL_LIMIT = 128
@@ -184,6 +204,31 @@ class Process(Event):
     def __call__(self, event: Event) -> None:
         self._resume(event)
 
+    def __deepcopy__(self, memo: dict) -> "Process":
+        # Generator frames cannot be deep-copied, so only *finished*
+        # processes (whose generators are exhausted and droppable) may
+        # appear in a snapshot graph.  Finished processes linger as
+        # stream tails and event values; the copy keeps their outcome
+        # but sheds the dead generator.
+        import copy as _copy
+
+        if self.callbacks is not None:
+            raise SnapshotError(
+                "cannot deep-copy a live process; snapshots are only "
+                "legal at quiescence (empty event heap, every process "
+                "finished)"
+            )
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        clone.env = _copy.deepcopy(self.env, memo)
+        clone.callbacks = None
+        clone._value = _copy.deepcopy(self._value, memo)
+        clone._exception = _copy.deepcopy(self._exception, memo)
+        clone._scheduled = self._scheduled
+        clone._generator = None
+        clone._target = None
+        return clone
+
     def _resume(self, event: Event) -> None:
         self._target = None
         generator = self._generator
@@ -274,6 +319,29 @@ class Environment:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether no event is scheduled (nothing can happen without
+        outside input) — the only state a snapshot may capture."""
+        return not self._heap
+
+    def advance(self, delta: float) -> None:
+        """Jump the clock forward by ``delta`` seconds.
+
+        Only legal at quiescence: with events on the heap the jump would
+        make their scheduled times lie in the past.  Used by the
+        steady-state fast-forward to replay a verified per-iteration
+        time delta without re-simulating the events behind it.
+        """
+        if delta < 0:
+            raise ValueError(f"cannot advance time backwards: {delta}")
+        if self._heap:
+            raise SimulationError(
+                "advance() with events on the heap would move scheduled "
+                "times into the past"
+            )
+        self._now += delta
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         sequence = self._sequence

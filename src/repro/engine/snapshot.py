@@ -1,0 +1,92 @@
+"""Deterministic snapshot/fork of a quiescent simulation.
+
+A snapshot captures an entire simulation object graph — typically a
+:class:`~repro.cuda.runtime.CudaRuntime`, i.e. the
+:class:`~repro.engine.core.Environment` (clock, recycled-timeout pool),
+the driver (va_blocks, page queues, frame allocators, in-flight locks),
+the instruments (traffic, RMT, counters, event log) and the GPU
+executors — with one :func:`copy.deepcopy`.  :meth:`EngineSnapshot.fork`
+then deep-copies the frozen payload again, yielding an independent
+restored simulation that continues *bit-for-bit* like the original
+would have.
+
+The one restriction is **quiescence**: Python generator frames (live
+processes) cannot be copied, so a snapshot may only be taken when the
+event heap is empty and every process has finished.  The sweep harness
+arranges exactly that by splitting workloads into a CPU-only setup
+prefix and a measured body (see :mod:`repro.harness.sweep`); the
+boundary between them is quiescent by construction because host-side
+setup is fully synchronous.
+
+Two details make the copy exact:
+
+- :meth:`Process.__deepcopy__ <repro.engine.core.Process.__deepcopy__>`
+  keeps a finished process's outcome (streams hold their tail processes
+  forever) while shedding the exhausted generator — and raises
+  :class:`~repro.errors.SnapshotError` if a *live* process sneaks into
+  the graph, so a non-quiescent snapshot fails loudly instead of
+  corrupting silently.
+- the engine's ``_PENDING`` sentinel preserves identity across copies,
+  so ``is``-based "value not set" checks keep working in the fork.
+
+Forked runs are indistinguishable from cold runs in every *observable*:
+simulated times, traffic bytes, RMT classification, counters, event-log
+entries.  The only divergent internals are event sequence numbers (the
+fork's counter continues from the prefix, a cold run's counts setup
+bootstrap events too) and the identity of recycled timeout objects —
+both are tie-breakers/allocation details with no behavioural effect
+when the heap is empty at the boundary, which tests pin down
+(``tests/test_snapshot_fork.py``).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Generic, TypeVar
+
+from repro.errors import SnapshotError
+
+T = TypeVar("T")
+
+
+def assert_quiescent(root: object) -> None:
+    """Raise :class:`SnapshotError` unless ``root`` can be snapshotted.
+
+    Duck-typed: if ``root`` exposes a ``snapshot_precheck()`` hook (the
+    runtime, the driver), it is invoked; otherwise an ``env`` attribute
+    with an empty heap is required.
+    """
+    precheck = getattr(root, "snapshot_precheck", None)
+    if precheck is not None:
+        precheck()
+        return
+    env = getattr(root, "env", root)
+    quiescent = getattr(env, "quiescent", None)
+    if quiescent is None:
+        raise SnapshotError(
+            f"{type(root).__name__} exposes neither snapshot_precheck() "
+            "nor an environment to check for quiescence"
+        )
+    if not quiescent:
+        raise SnapshotError(
+            "snapshot requested with events still on the heap; run the "
+            "simulation to quiescence first"
+        )
+
+
+class EngineSnapshot(Generic[T]):
+    """A frozen deep copy of a quiescent simulation graph.
+
+    The constructor captures ``root`` (after :func:`assert_quiescent`);
+    :meth:`fork` returns a fresh, fully independent restored copy each
+    time it is called.  The captured payload itself is never handed out,
+    so a snapshot can seed any number of divergent continuations.
+    """
+
+    def __init__(self, root: T) -> None:
+        assert_quiescent(root)
+        self._payload: T = copy.deepcopy(root)
+
+    def fork(self) -> T:
+        """An independent restored copy of the captured simulation."""
+        return copy.deepcopy(self._payload)

@@ -17,6 +17,16 @@ class SimulationError(ReproError):
     """The discrete-event engine was driven into an invalid state."""
 
 
+class SnapshotError(SimulationError):
+    """A snapshot was requested in a state that cannot be captured.
+
+    Snapshots are only legal at *quiescence* — an empty event heap with
+    every process finished — because live generator frames cannot be
+    deep-copied.  Raised by :mod:`repro.engine.snapshot` and by
+    :meth:`~repro.engine.core.Process.__deepcopy__`.
+    """
+
+
 class OutOfMemoryError(ReproError):
     """A physical memory allocation could not be satisfied.
 

@@ -37,6 +37,54 @@ def run_uvm_experiment(
     return ExperimentResult.from_runtime(runtime, system, config_label, metric=value)
 
 
+def run_uvm_prefix(
+    setup_program: Callable,
+    gpu: GpuSpec,
+    link: Link,
+    host: Optional[HostSpec] = None,
+    driver_config: Optional[UvmDriverConfig] = None,
+) -> CudaRuntime:
+    """Simulate a workload's setup prefix and return the live runtime.
+
+    Unlike :meth:`CudaRuntime.run` this does **not** finalize the driver
+    — the RMT classifier must resolve its pending chains exactly once,
+    at the end of the measured body.  The returned runtime is quiescent
+    (the prefix is CPU-only by construction) and therefore snapshottable
+    with :class:`~repro.engine.snapshot.EngineSnapshot`.
+    """
+    runtime = CudaRuntime(gpu=gpu, host=host, link=link, driver_config=driver_config)
+    env = runtime.env
+    process = env.process(setup_program(runtime))
+    env.run(until=process)
+    env.run()  # drain any stragglers to quiescence
+    return runtime
+
+
+def run_uvm_body(
+    runtime: CudaRuntime,
+    body_program: Callable,
+    system: str,
+    config_label: str,
+    app_bytes: int,
+    ratio: float,
+    metric: Optional[Callable[[CudaRuntime], float]] = None,
+) -> ExperimentResult:
+    """Run the measured body on a runtime produced by
+    :func:`run_uvm_prefix` (typically a snapshot fork) and snapshot the
+    result.
+
+    The oversubscription occupant is reserved here, *after* forking:
+    reserving frames is a pure allocator operation costing no simulated
+    time, so deferring it past the (time-free, CPU-only) prefix leaves
+    every observable identical to a cold run while letting points with
+    different ratios share one prefix snapshot.
+    """
+    apply_oversubscription(runtime, app_bytes, ratio)
+    runtime.run(body_program)
+    value = metric(runtime) if metric is not None else None
+    return ExperimentResult.from_runtime(runtime, system, config_label, metric=value)
+
+
 def ratio_label(ratio: float) -> str:
     """The paper's column label for an oversubscription ratio.
 

@@ -114,6 +114,11 @@ class SweepPoint:
     scale: float = 0.125
     gpu: str = "rtx3080ti"
     driver: Tuple[Tuple[str, object], ...] = ()
+    #: DL-only override of the trainer's mini-batch count (``None`` =
+    #: the :class:`~repro.workloads.dl.TrainerConfig` default).  Omitted
+    #: from serialized dicts (and hence cache keys) when unset, so the
+    #: field's introduction invalidates no existing cache entries.
+    batches: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "system", _normalize_system(self.system))
@@ -129,11 +134,20 @@ class SweepPoint:
                 raise ConfigurationError(
                     f"DL point {self.workload!r} needs a positive batch_size"
                 )
+            if self.batches is not None and self.batches < 2:
+                raise ConfigurationError(
+                    "batches must leave at least one measured batch after "
+                    f"warm-up (>= 2), got {self.batches}"
+                )
         elif self.workload in MICRO_WORKLOADS:
             if self.batch_size is not None:
                 raise ConfigurationError(
                     f"micro workload {self.workload!r} takes a ratio, "
                     "not a batch_size"
+                )
+            if self.batches is not None:
+                raise ConfigurationError(
+                    f"micro workload {self.workload!r} has no batches knob"
                 )
             if self.ratio <= 0:
                 raise ConfigurationError(f"ratio must be positive: {self.ratio}")
@@ -173,7 +187,7 @@ class SweepPoint:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "workload": self.workload,
             "system": self.system,
             "link": self.link,
@@ -183,12 +197,15 @@ class SweepPoint:
             "gpu": self.gpu,
             "driver": dict(self.driver),
         }
+        if self.batches is not None:
+            data["batches"] = self.batches
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SweepPoint":
         unknown = set(data) - {
             "workload", "system", "link", "ratio", "batch_size",
-            "scale", "gpu", "driver",
+            "scale", "gpu", "driver", "batches",
         }
         if unknown:
             raise ConfigurationError(f"unknown sweep-point keys: {sorted(unknown)}")
@@ -306,6 +323,37 @@ def _driver_config(point: SweepPoint):
         raise ConfigurationError(f"bad driver override: {exc}") from None
 
 
+def _dl_trainer(point: SweepPoint, system: System):
+    from repro.workloads.dl import DarknetTrainer, TrainerConfig
+    from repro.workloads.dl import darknet19, resnet53, rnn_shakespeare, vgg16
+
+    factory = {
+        "vgg16": vgg16, "darknet19": darknet19,
+        "resnet53": resnet53, "rnn": rnn_shakespeare,
+    }[point.workload.split(":", 1)[1]]
+    if point.batches is None:
+        trainer_config = TrainerConfig(batch_size=point.batch_size)
+    else:
+        trainer_config = TrainerConfig(
+            batch_size=point.batch_size, batches=point.batches
+        )
+    return DarknetTrainer(factory().scaled(point.scale), trainer_config, system)
+
+
+def _micro_workload(point: SweepPoint):
+    if point.workload == "fir":
+        from repro.workloads.fir import FirConfig, FirWorkload
+
+        return FirWorkload(FirConfig().scaled(point.scale))
+    if point.workload == "radix":
+        from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
+
+        return RadixSortWorkload(RadixSortConfig().scaled(point.scale))
+    from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
+
+    return HashJoinWorkload(HashJoinConfig().scaled(point.scale))
+
+
 def execute_point(point: SweepPoint) -> Optional[ExperimentResult]:
     """Simulate one point; ``None`` when the configuration does not fit
     (the paper's No-UVM OOM crash under oversubscription)."""
@@ -315,36 +363,154 @@ def execute_point(point: SweepPoint) -> Optional[ExperimentResult]:
     driver_config = _driver_config(point)
     try:
         if point.is_dl:
-            from repro.workloads.dl import DarknetTrainer, TrainerConfig
-            from repro.workloads.dl import darknet19, resnet53, rnn_shakespeare, vgg16
-
-            factory = {
-                "vgg16": vgg16, "darknet19": darknet19,
-                "resnet53": resnet53, "rnn": rnn_shakespeare,
-            }[point.workload.split(":", 1)[1]]
-            trainer = DarknetTrainer(
-                factory().scaled(point.scale),
-                TrainerConfig(batch_size=point.batch_size),
-                system,
-            )
+            trainer = _dl_trainer(point, system)
             return trainer.run(gpu, link, driver_config=driver_config)
-        if point.workload == "fir":
-            from repro.workloads.fir import FirConfig, FirWorkload
-
-            workload = FirWorkload(FirConfig().scaled(point.scale))
-        elif point.workload == "radix":
-            from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
-
-            workload = RadixSortWorkload(RadixSortConfig().scaled(point.scale))
-        else:
-            from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
-
-            workload = HashJoinWorkload(HashJoinConfig().scaled(point.scale))
+        workload = _micro_workload(point)
         return workload.run(
             system, point.ratio, gpu, link, driver_config=driver_config
         )
     except OutOfMemoryError:
         return None
+
+
+# ----------------------------------------------------------------------
+# shared-prefix group execution (snapshot/fork reuse)
+# ----------------------------------------------------------------------
+
+#: Driver-config fields that influence the *setup* prefix (CPU faults
+#: during host initialization, instrumentation that records them).  Two
+#: points may share one prefix snapshot only when these agree; every
+#: other knob is setup-inert and is re-applied per fork via
+#: :meth:`~repro.driver.driver.UvmDriver.reconfigure`.
+SETUP_AFFECTING_DRIVER_KEYS = frozenset(
+    {
+        "cpu_fault_overhead",
+        "event_log_enabled",
+        "event_log_capacity",
+        "keep_transfer_records",
+    }
+)
+
+
+def prefix_key(point: SweepPoint) -> Optional[Tuple]:
+    """Grouping key for points that can share one setup-prefix snapshot,
+    or ``None`` when the point must run cold.
+
+    ``None`` cases: No-UVM (monolithic program, no split), and points
+    that opt out via a ``snapshot_reuse=False`` driver override.  The
+    key deliberately excludes ``system`` (all UVM systems share the
+    same CPU-only setup) and ``ratio`` (the oversubscription occupant
+    is reserved after forking and costs no simulated time).
+    """
+    if System(point.system) is System.NO_UVM:
+        return None
+    overrides = dict(point.driver)
+    if overrides.get("snapshot_reuse") is False:
+        return None
+    setup_overrides = tuple(
+        (k, v)
+        for k, v in point.driver
+        if k in SETUP_AFFECTING_DRIVER_KEYS
+    )
+    return (
+        point.workload,
+        point.link,
+        point.scale,
+        point.gpu,
+        point.batch_size,
+        point.batches,
+        setup_overrides,
+    )
+
+
+@dataclass
+class _PointPlan:
+    """A point decomposed into the split-phase protocol."""
+
+    setup: Callable
+    body: Callable
+    system: str
+    config_label: str
+    app_bytes: int
+    ratio: float
+    metric: Optional[Callable] = None
+
+
+def _point_plan(point: SweepPoint) -> Optional[_PointPlan]:
+    """Split-phase plan for ``point``; ``None`` when unsupported."""
+    system = System(point.system)
+    if system is System.NO_UVM:
+        return None
+    if point.is_dl:
+        trainer = _dl_trainer(point, system)
+        return _PointPlan(
+            setup=trainer.setup_program(),
+            body=trainer.body_program(),
+            system=system.value,
+            config_label=f"bs={point.batch_size}",
+            app_bytes=trainer.app_bytes,
+            ratio=1.0,  # DL oversubscribes via batch size, not an occupant
+            metric=trainer.images_per_second,
+        )
+    workload = _micro_workload(point)
+    return _PointPlan(
+        setup=workload.setup_program(),
+        body=workload.body_program(system),
+        system=system.value,
+        config_label=ratio_label(point.ratio),
+        app_bytes=workload.config.app_bytes,
+        ratio=point.ratio,
+    )
+
+
+def execute_group(points: Sequence[SweepPoint]) -> List[Optional[ExperimentResult]]:
+    """Simulate a group of points sharing one :func:`prefix_key`.
+
+    The shared setup prefix is simulated once, snapshotted at its
+    quiescent boundary, and forked per point; each fork re-applies the
+    point's full driver config and runs the measured body.  Forked runs
+    are bit-for-bit identical to cold ones (``tests/test_snapshot_fork``
+    pins that down), so this is purely a wall-clock optimization.  Any
+    failure to establish the snapshot degrades to cold per-point runs.
+    """
+    from repro.driver.config import UvmDriverConfig
+    from repro.engine.snapshot import EngineSnapshot
+    from repro.errors import SnapshotError
+    from repro.harness.runner import run_uvm_body, run_uvm_prefix
+
+    points = list(points)
+    plans = [_point_plan(point) for point in points]
+    if len(points) < 2 or any(plan is None for plan in plans):
+        return [execute_point(point) for point in points]
+    try:
+        prefix_runtime = run_uvm_prefix(
+            plans[0].setup,
+            _gpu_spec(points[0]),
+            _link(points[0]),
+            driver_config=_driver_config(points[0]),
+        )
+        snapshot = EngineSnapshot(prefix_runtime)
+    except (OutOfMemoryError, SnapshotError):
+        return [execute_point(point) for point in points]
+    results: List[Optional[ExperimentResult]] = []
+    for point, plan in zip(points, plans):
+        forked = snapshot.fork()
+        forked.driver.reconfigure(_driver_config(point) or UvmDriverConfig())
+        try:
+            results.append(
+                run_uvm_body(
+                    forked,
+                    plan.body,
+                    plan.system,
+                    plan.config_label,
+                    plan.app_bytes,
+                    plan.ratio,
+                    metric=plan.metric,
+                )
+            )
+        except OutOfMemoryError:
+            results.append(None)
+    return results
 
 
 def _outcome_to_dict(result: Optional[ExperimentResult]) -> Dict[str, object]:
@@ -370,6 +536,21 @@ def _pool_worker(item: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[str, ob
     index, point_dict = item
     point = SweepPoint.from_dict(point_dict)
     return index, _outcome_to_dict(execute_point(point))
+
+
+def _pool_group_worker(
+    item: Tuple[Tuple[int, ...], Tuple[Dict[str, object], ...]]
+) -> List[Tuple[int, Dict[str, object]]]:
+    """Top-level (picklable) worker: simulate one prefix-sharing group in
+    a subprocess.  Only plain dicts cross the process boundary —
+    snapshots are taken and forked entirely inside the worker."""
+    indices, point_dicts = item
+    points = [SweepPoint.from_dict(d) for d in point_dicts]
+    if len(points) == 1:
+        outcomes = [_outcome_to_dict(execute_point(points[0]))]
+    else:
+        outcomes = [_outcome_to_dict(result) for result in execute_group(points)]
+    return list(zip(indices, outcomes))
 
 
 # ----------------------------------------------------------------------
@@ -483,12 +664,19 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    snapshot_reuse: bool = True,
 ) -> SweepReport:
     """Execute a batch of sweep points, using the cache and worker pool.
 
     ``jobs > 1`` simulates cache misses across a process pool; hits are
     served inline.  Results are returned in point order regardless of
     completion order, so output is deterministic for any job count.
+
+    ``snapshot_reuse`` groups cache-missing points by
+    :func:`prefix_key`, simulates each group's shared setup prefix
+    once, and forks the remaining points from a snapshot (see
+    :func:`execute_group`).  Reports are byte-identical with the knob
+    on or off; ``False`` forces every point to run cold.
     """
     if isinstance(points, SweepGrid):
         points = points.expand()
@@ -525,13 +713,49 @@ def run_sweep(
             cache.put(points[index], outcome)
         note(index, "run")
 
-    if len(pending) > 1 and jobs > 1:
-        work = [(index, points[index].to_dict()) for index in pending]
-        with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-            for index, outcome in pool.imap_unordered(_pool_worker, work):
-                finish(index, outcome)
-    else:
+    # Partition the misses into prefix-sharing groups.  Ungroupable
+    # points (prefix_key None) and singleton groups run cold; each group
+    # is one unit of pool work so its snapshot never crosses a process
+    # boundary.
+    groups: List[List[int]] = []
+    if snapshot_reuse:
+        keyed: Dict[Tuple, List[int]] = {}
+        solo: List[int] = []
         for index in pending:
-            finish(index, _outcome_to_dict(execute_point(points[index])))
+            key = prefix_key(points[index])
+            if key is None:
+                solo.append(index)
+            else:
+                keyed.setdefault(key, []).append(index)
+        for members in keyed.values():
+            if len(members) > 1:
+                groups.append(members)
+            else:
+                solo.extend(members)
+        groups.extend([index] for index in solo)
+    else:
+        groups = [[index] for index in pending]
+
+    if len(groups) > 1 and jobs > 1:
+        work = [
+            (
+                tuple(members),
+                tuple(points[index].to_dict() for index in members),
+            )
+            for members in groups
+        ]
+        with multiprocessing.Pool(processes=min(jobs, len(groups))) as pool:
+            for batch in pool.imap_unordered(_pool_group_worker, work):
+                for index, outcome in batch:
+                    finish(index, outcome)
+    else:
+        for members in groups:
+            if len(members) == 1:
+                index = members[0]
+                finish(index, _outcome_to_dict(execute_point(points[index])))
+            else:
+                group_results = execute_group([points[i] for i in members])
+                for index, result in zip(members, group_results):
+                    finish(index, _outcome_to_dict(result))
 
     return SweepReport(points, results, provenance, time.monotonic() - started)

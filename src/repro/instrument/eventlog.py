@@ -62,13 +62,28 @@ class LogEntry:
 
 
 class EventLog:
-    """Fixed-capacity FIFO of :class:`LogEntry` records."""
+    """Ring buffer of :class:`LogEntry` records with drop accounting.
 
-    def __init__(self, capacity: int = 10_000, enabled: bool = False) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive: {capacity}")
+    When the optional ``capacity`` is reached the oldest entry is
+    evicted and :attr:`dropped` incremented, so a long sweep holds at
+    most ``capacity`` entries yet still reports how much of the trace
+    was truncated.  ``capacity=None`` retains everything (tests only).
+    """
+
+    def __init__(
+        self, capacity: Optional[int] = 10_000, enabled: bool = False
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None: {capacity}")
         self.enabled = enabled
+        #: Entries evicted by the ring buffer since the last :meth:`clear`.
+        self.dropped = 0
         self._entries: Deque[LogEntry] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum retained entries (``None`` = unbounded)."""
+        return self._entries.maxlen
 
     def log(self, time: float, category: str, message: str, *args: Any) -> None:
         """Append an entry if logging is enabled (cheap no-op otherwise).
@@ -79,7 +94,10 @@ class EventLog:
         """
         if not self.enabled:
             return
-        self._entries.append(LogEntry(time, category, message, *args))
+        entries = self._entries
+        if entries.maxlen is not None and len(entries) == entries.maxlen:
+            self.dropped += 1
+        entries.append(LogEntry(time, category, message, *args))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -95,3 +113,4 @@ class EventLog:
 
     def clear(self) -> None:
         self._entries.clear()
+        self.dropped = 0

@@ -1,0 +1,183 @@
+"""Steady-state detection and iteration fast-forward.
+
+DL training loops are strictly periodic in the simulator: after a
+warm-up batch reaches the steady working set, every subsequent batch
+issues the same faults, transfers, discards and kernels, so its *delta*
+— elapsed time, counter increments, per-direction/per-reason traffic
+bytes, RMT useful/redundant bytes — is identical batch after batch.
+:class:`SteadyStateDetector` verifies that claim instead of assuming it:
+a workload calls :meth:`mark` at each fully drained iteration boundary,
+and only after ``verify_iterations`` consecutive deltas match exactly
+(integers bit-for-bit, simulated time within a relative tolerance for
+float-addition reordering) does :meth:`fast_forward` become legal.  The
+replay then advances the clock and bumps every instrument by ``n``
+deltas, skipping the event-by-event simulation of the remaining
+iterations.
+
+Fast-forward is a controlled approximation, not a bit-exact shortcut:
+all integer observables (traffic bytes, counters, RMT bytes) replay
+exactly, while simulated time can differ in the last few ulps because
+``start + n*dt`` is not the same float sum as ``n`` individual
+additions.  It is therefore gated behind
+``UvmDriverConfig.steady_state_fastforward`` (off by default), rejected
+in golden-trace modes by config validation, and validated against full
+simulations in ``tests/test_steady_state.py``.
+
+The RMT classifier deserves a note: its pending (not-yet-resolved)
+transfer chains are *not* replayed, but in steady state the pending set
+at the fast-forward point is congruent to the pending set a full run
+holds at its end, so the final ``finalize()`` resolves the same number
+of bytes either way — the validation tests pin this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+
+#: Relative tolerance for comparing per-iteration time deltas.  Floating
+#: point addition is not associative, so two physically identical batches
+#: can differ by a few ulps once timestamps sit on a large running clock.
+TIME_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class _IterationDelta:
+    """All observable increments of one iteration."""
+
+    seconds: float
+    counters: Dict[str, int]
+    by_direction: Dict[object, int]
+    by_reason: Dict[object, int]
+    transfer_count: int
+    rmt_useful: int
+    rmt_redundant: int
+
+    def matches(self, other: "_IterationDelta") -> bool:
+        """Exact integer equality; time within :data:`TIME_REL_TOL`."""
+        if (
+            self.counters != other.counters
+            or self.by_direction != other.by_direction
+            or self.by_reason != other.by_reason
+            or self.transfer_count != other.transfer_count
+            or self.rmt_useful != other.rmt_useful
+            or self.rmt_redundant != other.rmt_redundant
+        ):
+            return False
+        scale = max(abs(self.seconds), abs(other.seconds), 1e-30)
+        return abs(self.seconds - other.seconds) <= TIME_REL_TOL * scale
+
+
+class SteadyStateDetector:
+    """Verifies loop periodicity and replays verified iteration deltas.
+
+    One detector per runtime per loop.  Call :meth:`mark` at every
+    iteration boundary where the simulation is fully drained (all
+    streams synchronized); it returns ``True`` once the last
+    ``verify_iterations`` iteration deltas were identical, after which
+    :meth:`fast_forward` may replay the verified delta.
+    """
+
+    def __init__(self, runtime, verify_iterations: int = 2) -> None:
+        if verify_iterations < 1:
+            raise ValueError(
+                f"verify_iterations must be >= 1, got {verify_iterations}"
+            )
+        self._runtime = runtime
+        self._verify = verify_iterations
+        self._last_capture = self._capture()
+        self._last_delta: Optional[_IterationDelta] = None
+        self._streak = 0
+
+    # -- capture/delta machinery ---------------------------------------
+
+    def _capture(self) -> _IterationDelta:
+        """Absolute instrument totals, in delta form for subtraction."""
+        rt = self._runtime
+        traffic = rt.driver.traffic
+        rmt = rt.driver.rmt
+        return _IterationDelta(
+            seconds=rt.env.now,
+            counters=rt.driver.counters.as_dict(),
+            by_direction=dict(traffic._by_direction),
+            by_reason=dict(traffic._by_reason),
+            transfer_count=traffic.transfer_count,
+            rmt_useful=rmt.useful_bytes,
+            rmt_redundant=rmt.redundant_bytes,
+        )
+
+    @staticmethod
+    def _subtract(now: _IterationDelta, then: _IterationDelta) -> _IterationDelta:
+        keys = set(now.counters) | set(then.counters)
+        return _IterationDelta(
+            seconds=now.seconds - then.seconds,
+            counters={
+                k: now.counters.get(k, 0) - then.counters.get(k, 0) for k in keys
+            },
+            by_direction={
+                k: now.by_direction[k] - then.by_direction.get(k, 0)
+                for k in now.by_direction
+            },
+            by_reason={
+                k: now.by_reason[k] - then.by_reason.get(k, 0)
+                for k in now.by_reason
+            },
+            transfer_count=now.transfer_count - then.transfer_count,
+            rmt_useful=now.rmt_useful - then.rmt_useful,
+            rmt_redundant=now.rmt_redundant - then.rmt_redundant,
+        )
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def verified(self) -> bool:
+        """Whether enough consecutive identical deltas were observed."""
+        return self._streak >= self._verify
+
+    def mark(self) -> bool:
+        """Record an iteration boundary; ``True`` once steady state is
+        verified (and :meth:`fast_forward` is legal)."""
+        capture = self._capture()
+        delta = self._subtract(capture, self._last_capture)
+        self._last_capture = capture
+        if self._last_delta is not None and delta.matches(self._last_delta):
+            self._streak += 1
+        else:
+            self._streak = 0
+        self._last_delta = delta
+        return self.verified
+
+    def fast_forward(self, iterations: int) -> None:
+        """Replay the verified delta ``iterations`` times: advance the
+        clock and bump every instrument without simulating events."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if not self.verified or self._last_delta is None:
+            raise SimulationError(
+                "fast_forward before steady state was verified; need "
+                f"{self._verify} consecutive identical iteration deltas"
+            )
+        if iterations == 0:
+            return
+        delta = self._last_delta
+        rt = self._runtime
+        rt.env.advance(delta.seconds * iterations)
+        counters = rt.driver.counters
+        for name, amount in delta.counters.items():
+            if amount:
+                counters.bump(name, amount * iterations)
+        traffic = rt.driver.traffic
+        for direction, nbytes in delta.by_direction.items():
+            traffic._by_direction[direction] += nbytes * iterations
+        for reason, nbytes in delta.by_reason.items():
+            traffic._by_reason[reason] += nbytes * iterations
+        traffic.transfer_count += delta.transfer_count * iterations
+        rmt = rt.driver.rmt
+        rmt.useful_bytes += delta.rmt_useful * iterations
+        rmt.redundant_bytes += delta.rmt_redundant * iterations
+        # Re-baseline so a subsequent mark() compares against the
+        # replayed totals rather than the pre-replay capture.
+        self._last_capture = self._capture()

@@ -102,15 +102,29 @@ class DarknetTrainer:
     def program(self) -> Callable[[CudaRuntime], Generator]:
         if self.system is System.NO_UVM:
             return self._program_no_uvm()
-        return self._program_uvm()
+        setup = self.setup_program()
+        body = self.body_program()
 
-    def _program_uvm(self) -> Callable[[CudaRuntime], Generator]:
+        def program(cuda: CudaRuntime) -> Generator:
+            yield from setup(cuda)
+            yield from body(cuda)
+
+        return program
+
+    def setup_program(self) -> Callable[[CudaRuntime], Generator]:
+        """The UVM setup prefix: allocate every managed buffer and
+        initialize the model weights on the host.  Depends only on the
+        network and trainer config — not on the evaluated system — so
+        the sweep harness can simulate it once and fork per system.
+        CPU-only, hence quiescent (and snapshottable) afterwards.
+        Not defined for No-UVM, which sizes explicit device buffers.
+        """
+        if self.system is System.NO_UVM:
+            raise ConfigurationError("No-UVM has no shareable setup prefix")
         net = self.network
         cfg = self.config
-        policy = self.policy
-        prefetch = True  # the "opt" in UVM-opt (§7.1)
 
-        def body(cuda: CudaRuntime) -> Generator:
+        def setup(cuda: CudaRuntime) -> Generator:
             bs = cfg.batch_size
             data = cuda.malloc_managed(net.input_bytes_per_sample * bs, "data")
             labels = cuda.malloc_managed(net.label_bytes_per_sample * bs, "labels")
@@ -139,6 +153,39 @@ class DarknetTrainer:
             # Initialize the model on the host (excluded preprocessing).
             for w in weights:
                 yield from cuda.host_write(w)
+            cuda.session.update(
+                {
+                    "dl_data": data,
+                    "dl_labels": labels,
+                    "dl_outputs": outputs,
+                    "dl_weights": weights,
+                    "dl_gradients": gradients,
+                    "dl_workspace": workspace,
+                    "dl_extra": extra,
+                }
+            )
+
+        return setup
+
+    def body_program(self) -> Callable[[CudaRuntime], Generator]:
+        """The measured training loop, resuming from a completed
+        :meth:`setup_program` (possibly in a forked runtime)."""
+        if self.system is System.NO_UVM:
+            raise ConfigurationError("No-UVM has no split body program")
+        net = self.network
+        cfg = self.config
+        policy = self.policy
+        prefetch = True  # the "opt" in UVM-opt (§7.1)
+
+        def body(cuda: CudaRuntime) -> Generator:
+            bs = cfg.batch_size
+            data = cuda.session["dl_data"]
+            labels = cuda.session["dl_labels"]
+            outputs = cuda.session["dl_outputs"]
+            weights = cuda.session["dl_weights"]
+            gradients = cuda.session["dl_gradients"]
+            workspace = cuda.session["dl_workspace"]
+            extra = cuda.session["dl_extra"]
             fits = cuda.driver.gpu_free_bytes(cuda.gpu.name) >= self.app_bytes
             # Discarding the workspace only pays when its frames are
             # worth reclaiming; when everything fits it is pure overhead.
@@ -154,6 +201,13 @@ class DarknetTrainer:
                     return []
                 return [BufferAccess(workspace, AccessMode.WRITE)]
 
+            detector = None
+            if cuda.driver.config.steady_state_fastforward:
+                from repro.instrument.steady_state import SteadyStateDetector
+
+                detector = SteadyStateDetector(
+                    cuda, cuda.driver.config.steady_state_verify_iterations
+                )
             for batch in range(cfg.batches):
                 if batch == cfg.warmup_batches:
                     yield from cuda.synchronize()
@@ -262,6 +316,20 @@ class DarknetTrainer:
                 if act_mode is not None:
                     cuda.discard_async(outputs[0], mode=act_mode, stream=compute)
                 yield from cuda.synchronize()
+                # Every batch ends at a fully drained sync: a legal place
+                # to compare iteration deltas and, once the loop is
+                # provably periodic, replay the delta for the remaining
+                # batches instead of simulating them.  Warm-up batches are
+                # excluded so begin_measurement always precedes a replay.
+                if (
+                    detector is not None
+                    and batch >= cfg.warmup_batches
+                    and detector.mark()
+                ):
+                    remaining = cfg.batches - batch - 1
+                    if remaining:
+                        detector.fast_forward(remaining)
+                    break
             yield from cuda.synchronize()
             # Keep the linter honest about the library buffer's lifetime.
             assert extra is None or not extra.freed

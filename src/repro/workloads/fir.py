@@ -88,17 +88,34 @@ class FirWorkload:
     def __init__(self, config: Optional[FirConfig] = None) -> None:
         self.config = config or FirConfig()
 
-    def program(self, system: System) -> Callable[[CudaRuntime], Generator]:
-        """The host program for ``system`` (a generator function)."""
+    def setup_program(self) -> Callable[[CudaRuntime], Generator]:
+        """The system-independent setup prefix: allocate the buffers and
+        generate the input signal on the host.  CPU-only, so the runtime
+        is quiescent (and snapshottable) when it finishes; the buffers
+        are handed to :meth:`body_program` through ``cuda.session``."""
         cfg = self.config
-        policy = DiscardPolicy(system)
 
-        def body(cuda: CudaRuntime) -> Generator:
+        def setup(cuda: CudaRuntime) -> Generator:
             window = cfg.window_bytes
             total = cfg.num_windows * window
             signal = cuda.malloc_managed(total, "fir_input")
             response = cuda.malloc_managed(total, "fir_output")
             yield from cuda.host_write(signal)  # generate the input signal
+            cuda.session["fir_input"] = signal
+            cuda.session["fir_output"] = response
+
+        return setup
+
+    def body_program(self, system: System) -> Callable[[CudaRuntime], Generator]:
+        """The measured body for ``system``, resuming from a completed
+        :meth:`setup_program` (possibly in a forked runtime)."""
+        cfg = self.config
+        policy = DiscardPolicy(system)
+
+        def body(cuda: CudaRuntime) -> Generator:
+            window = cfg.window_bytes
+            signal = cuda.session["fir_input"]
+            response = cuda.session["fir_output"]
             cuda.begin_measurement()  # §7.1: exclude input preprocessing
             compute = cuda.create_stream("compute")
             transfer = cuda.create_stream("transfer")
@@ -138,6 +155,17 @@ class FirWorkload:
             yield from cuda.synchronize()
 
         return body
+
+    def program(self, system: System) -> Callable[[CudaRuntime], Generator]:
+        """The host program for ``system`` (a generator function)."""
+        setup = self.setup_program()
+        body = self.body_program(system)
+
+        def program(cuda: CudaRuntime) -> Generator:
+            yield from setup(cuda)
+            yield from body(cuda)
+
+        return program
 
     def run(
         self,

@@ -99,20 +99,42 @@ class HashJoinWorkload:
     def __init__(self, config: Optional[HashJoinConfig] = None) -> None:
         self.config = config or HashJoinConfig()
 
-    def program(self, system: System) -> Callable[[CudaRuntime], Generator]:
+    def setup_program(self) -> Callable[[CudaRuntime], Generator]:
+        """The system-independent setup prefix: allocate all seven
+        buffers and populate the two input tables on the host.  CPU-only,
+        so the runtime is quiescent (and snapshottable) afterwards."""
+        cfg = self.config
+
+        def setup(cuda: CudaRuntime) -> Generator:
+            buffers = {
+                "table_r": cuda.malloc_managed(cfg.table_bytes, "table_r"),
+                "table_s": cuda.malloc_managed(cfg.table_bytes, "table_s"),
+                "inter_r": cuda.malloc_managed(cfg.intermediate_bytes, "inter_r"),
+                "inter_s": cuda.malloc_managed(cfg.intermediate_bytes, "inter_s"),
+                "scratch_r": cuda.malloc_managed(cfg.scratch_bytes, "scratch_r"),
+                "scratch_s": cuda.malloc_managed(cfg.scratch_bytes, "scratch_s"),
+                "join_result": cuda.malloc_managed(cfg.result_bytes, "join_result"),
+            }
+            yield from cuda.host_write(buffers["table_r"])
+            yield from cuda.host_write(buffers["table_s"])
+            cuda.session.update(buffers)
+
+        return setup
+
+    def body_program(self, system: System) -> Callable[[CudaRuntime], Generator]:
+        """The measured body for ``system``, resuming from a completed
+        :meth:`setup_program` (possibly in a forked runtime)."""
         cfg = self.config
         policy = DiscardPolicy(system)
 
         def body(cuda: CudaRuntime) -> Generator:
-            table_r = cuda.malloc_managed(cfg.table_bytes, "table_r")
-            table_s = cuda.malloc_managed(cfg.table_bytes, "table_s")
-            inter_r = cuda.malloc_managed(cfg.intermediate_bytes, "inter_r")
-            inter_s = cuda.malloc_managed(cfg.intermediate_bytes, "inter_s")
-            scratch_r = cuda.malloc_managed(cfg.scratch_bytes, "scratch_r")
-            scratch_s = cuda.malloc_managed(cfg.scratch_bytes, "scratch_s")
-            result = cuda.malloc_managed(cfg.result_bytes, "join_result")
-            yield from cuda.host_write(table_r)
-            yield from cuda.host_write(table_s)
+            table_r = cuda.session["table_r"]
+            table_s = cuda.session["table_s"]
+            inter_r = cuda.session["inter_r"]
+            inter_s = cuda.session["inter_s"]
+            scratch_r = cuda.session["scratch_r"]
+            scratch_s = cuda.session["scratch_s"]
+            result = cuda.session["join_result"]
             cuda.begin_measurement()  # §7.1: exclude input preprocessing
             fits = cuda.driver.gpu_free_bytes(cuda.gpu.name) >= cfg.app_bytes
             preprocess_time = (
@@ -191,6 +213,17 @@ class HashJoinWorkload:
             yield from cuda.synchronize()
 
         return body
+
+    def program(self, system: System) -> Callable[[CudaRuntime], Generator]:
+        """The host program (setup prefix + measured body)."""
+        setup = self.setup_program()
+        body = self.body_program(system)
+
+        def program(cuda: CudaRuntime) -> Generator:
+            yield from setup(cuda)
+            yield from body(cuda)
+
+        return program
 
     def run(
         self,

@@ -84,10 +84,26 @@ class RadixSortWorkload:
     def __init__(self, config: Optional[RadixSortConfig] = None) -> None:
         self.config = config or RadixSortConfig()
 
-    def program(
+    def setup_program(self) -> Callable[[CudaRuntime], Generator]:
+        """The system-independent setup prefix: allocate both buffers and
+        generate the keys/values on the host.  CPU-only, so the runtime
+        is quiescent (and snapshottable) afterwards."""
+        cfg = self.config
+
+        def setup(cuda: CudaRuntime) -> Generator:
+            array = cuda.malloc_managed(cfg.array_bytes, "radix_input")
+            temp = cuda.malloc_managed(cfg.array_bytes, "radix_temp")
+            yield from cuda.host_write(array)  # generate keys and values
+            cuda.session["radix_input"] = array
+            cuda.session["radix_temp"] = temp
+
+        return setup
+
+    def body_program(
         self, system: System, prefetch: Optional[bool] = None
     ) -> Callable[[CudaRuntime], Generator]:
-        """The host program.
+        """The measured body for ``system``, resuming from a completed
+        :meth:`setup_program` (possibly in a forked runtime).
 
         ``prefetch=None`` applies the paper's policy (prefetch only when
         not oversubscribed — decided inside from the occupant state);
@@ -98,9 +114,8 @@ class RadixSortWorkload:
         policy = DiscardPolicy(system)
 
         def body(cuda: CudaRuntime) -> Generator:
-            array = cuda.malloc_managed(cfg.array_bytes, "radix_input")
-            temp = cuda.malloc_managed(cfg.array_bytes, "radix_temp")
-            yield from cuda.host_write(array)  # generate keys and values
+            array = cuda.session["radix_input"]
+            temp = cuda.session["radix_temp"]
             cuda.begin_measurement()  # §7.1: exclude input preprocessing
             fits = cuda.driver.gpu_free_bytes(cuda.gpu.name) >= cfg.app_bytes
             use_prefetch = fits if prefetch is None else prefetch
@@ -160,6 +175,19 @@ class RadixSortWorkload:
             yield from cuda.synchronize()
 
         return body
+
+    def program(
+        self, system: System, prefetch: Optional[bool] = None
+    ) -> Callable[[CudaRuntime], Generator]:
+        """The host program (setup prefix + measured body)."""
+        setup = self.setup_program()
+        body = self.body_program(system, prefetch=prefetch)
+
+        def program(cuda: CudaRuntime) -> Generator:
+            yield from setup(cuda)
+            yield from body(cuda)
+
+        return program
 
     def run(
         self,

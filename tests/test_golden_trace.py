@@ -25,7 +25,7 @@ import pathlib
 
 import pytest
 
-from repro.harness.sweep import SweepPoint, execute_point
+from repro.harness.sweep import SweepPoint, execute_group, execute_point
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -118,4 +118,30 @@ def test_golden_trace_invariant_to_coalescing(name, coalesce):
     assert not drift, (
         f"{name}: coalesce_transfers={coalesce} diverges from the "
         "committed snapshot (golden -> actual):\n" + "\n".join(drift)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_POINTS))
+def test_golden_trace_invariant_to_snapshot_forking(name):
+    """Shared-prefix snapshot forking is a pure wall-clock optimization.
+
+    Each golden point is run as part of a prefix-sharing group (with a
+    sibling under another system, so the snapshot/fork path actually
+    engages) and must still reproduce its committed snapshot
+    bit-for-bit.  As with the coalescing invariance above there is no
+    --update-golden escape hatch: a divergence means the forked
+    continuation is not equivalent to a cold run.
+    """
+    point = GOLDEN_POINTS[name]
+    sibling = dataclasses.replace(point, system="UVM-opt")
+    assert sibling.system != point.system
+    result = execute_group([point, sibling])[0]
+    assert result is not None, f"{point.label} unexpectedly hit OOM"
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"missing golden snapshot {path}"
+    golden = json.loads(path.read_text())
+    drift = _diff(_flatten(golden["result"]), _flatten(result.to_dict()))
+    assert not drift, (
+        f"{name}: snapshot-forked run diverges from the committed "
+        "snapshot (golden -> actual):\n" + "\n".join(drift)
     )

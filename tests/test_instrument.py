@@ -206,11 +206,44 @@ class TestEventLog:
             log.log(float(i), "c", str(i))
         assert [e.message for e in log] == ["7", "8", "9"]
 
+    def test_truncation_reports_dropped_count(self):
+        log = EventLog(capacity=4, enabled=True)
+        assert log.capacity == 4
+        for i in range(4):
+            log.log(float(i), "c", str(i))
+        assert log.dropped == 0
+        for i in range(4, 11):
+            log.log(float(i), "c", str(i))
+        assert log.dropped == 7
+        assert len(log) == 4
+
+    def test_unbounded_never_drops(self):
+        log = EventLog(capacity=None, enabled=True)
+        for i in range(10_001):
+            log.log(float(i), "c", "m")
+        assert log.dropped == 0
+        assert len(log) == 10_001
+
+    def test_disabled_logging_does_not_drop(self):
+        log = EventLog(capacity=1, enabled=False)
+        for i in range(5):
+            log.log(float(i), "c", "m")
+        assert log.dropped == 0
+        assert len(log) == 0
+
     def test_clear(self):
         log = EventLog(enabled=True)
         log.log(0.0, "c", "m")
         log.clear()
         assert len(log) == 0
+
+    def test_clear_resets_dropped(self):
+        log = EventLog(capacity=1, enabled=True)
+        log.log(0.0, "c", "a")
+        log.log(1.0, "c", "b")
+        assert log.dropped == 1
+        log.clear()
+        assert log.dropped == 0
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):

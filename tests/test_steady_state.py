@@ -1,0 +1,196 @@
+"""Steady-state fast-forward validation (:mod:`repro.instrument.steady_state`).
+
+Fast-forward is the one reuse mechanism that is *not* bit-exact — it
+replays a verified per-iteration delta instead of simulating events —
+so unlike ``tests/test_snapshot_fork.py`` these tests compare against
+full simulations with an explicit contract: every integer observable
+(traffic bytes, counters, RMT classification) must match exactly, and
+simulated time must agree to within float-addition reordering noise
+(``rel=1e-9``, in practice ~1e-14).  Validated on three DL networks
+with distinct phase structures, per the acceptance criteria.
+
+The config-validation tests pin the guard rails: fast-forward is off by
+default and refuses to combine with golden-trace instrumentation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.driver.config import UvmDriverConfig
+from repro.errors import SimulationError
+from repro.harness.sweep import SweepPoint, execute_point
+from repro.instrument.steady_state import SteadyStateDetector
+
+#: Relative tolerance for simulated-time comparison; see module docstring.
+TIME_RTOL = 1e-9
+
+#: (network, batch_size, scale): three architectures with different
+#: layer mixes, each trained for 10 mini-batches so the fast-forward
+#: replays a substantial tail.  The final entry oversubscribes the
+#: scaled GPU, exercising the eviction path under replay.
+VALIDATION_GRID = (
+    ("vgg16", 8, 0.03125),
+    ("darknet19", 16, 0.03125),
+    ("rnn", 16, 0.0625),
+    ("vgg16", 80, 0.03125),
+)
+
+
+def _point(network, batch_size, scale, system="UvmDiscard", **driver):
+    return SweepPoint(
+        f"dl:{network}",
+        system,
+        batch_size=batch_size,
+        scale=scale,
+        batches=10,
+        driver=driver or (),
+    )
+
+
+class TestFastForwardMatchesFullSimulation:
+    @pytest.mark.parametrize(
+        "network,batch_size,scale", VALIDATION_GRID,
+        ids=[f"{g[0]}-bs{g[1]}" for g in VALIDATION_GRID],
+    )
+    def test_dl_training_loop(self, network, batch_size, scale):
+        full = execute_point(_point(network, batch_size, scale))
+        fast = execute_point(
+            _point(network, batch_size, scale, steady_state_fastforward=True)
+        )
+        assert full is not None and fast is not None
+        full_d, fast_d = full.to_dict(), fast.to_dict()
+        for key in full_d:
+            if key in ("elapsed_seconds", "metric"):
+                assert math.isclose(
+                    full_d[key], fast_d[key], rel_tol=TIME_RTOL
+                ), (network, key, full_d[key], fast_d[key])
+            else:
+                # Traffic, RMT and counters replay exactly.
+                assert full_d[key] == fast_d[key], (network, key)
+
+    def test_systems_diverge_even_with_fastforward(self):
+        """Fast-forward must not blur the systems apart: the discard
+        savings the paper measures survive the replay.  Batch size 80
+        oversubscribes the scaled GPU (smaller batches fit entirely, so
+        every UVM system would see identical traffic)."""
+        results = {
+            system: execute_point(
+                _point("vgg16", 80, 0.03125, system=system,
+                       steady_state_fastforward=True)
+            )
+            for system in ("UVM-opt", "UvmDiscard")
+        }
+        assert (
+            results["UvmDiscard"].traffic_gb < results["UVM-opt"].traffic_gb
+        )
+
+
+class TestDetector:
+    def _runtime(self):
+        from repro.cuda.runtime import CudaRuntime
+
+        return CudaRuntime()
+
+    def test_fast_forward_before_verification_rejected(self):
+        runtime = self._runtime()
+        detector = SteadyStateDetector(runtime, verify_iterations=2)
+        with pytest.raises(SimulationError):
+            detector.fast_forward(3)
+
+    def test_verification_needs_consecutive_identical_deltas(self):
+        runtime = self._runtime()
+        env = runtime.env
+        detector = SteadyStateDetector(runtime, verify_iterations=2)
+
+        def tick(duration):
+            def proc():
+                yield env.timeout(duration)
+
+            env.process(proc())
+            env.run()
+
+        tick(1e-6)
+        assert not detector.mark()  # first delta: nothing to compare
+        tick(2e-6)
+        assert not detector.mark()  # delta changed: streak resets
+        tick(2e-6)
+        assert not detector.mark()  # one match
+        tick(2e-6)
+        assert detector.mark()  # two consecutive matches: verified
+
+    def test_fast_forward_advances_clock_and_instruments(self):
+        runtime = self._runtime()
+        env = runtime.env
+        detector = SteadyStateDetector(runtime, verify_iterations=1)
+
+        def iteration():
+            def proc():
+                yield env.timeout(1e-6)
+
+            env.process(proc())
+            env.run()
+            runtime.driver.counters.bump("iters")
+
+        for _ in range(3):
+            iteration()
+            verified = detector.mark()
+        assert verified
+        before = env.now
+        detector.fast_forward(5)
+        assert math.isclose(env.now, before + 5e-6, rel_tol=1e-12)
+        assert runtime.driver.counters["iters"] == 3 + 5
+
+    def test_fast_forward_zero_iterations_is_noop(self):
+        runtime = self._runtime()
+        env = runtime.env
+        detector = SteadyStateDetector(runtime, verify_iterations=1)
+
+        def tick():
+            def proc():
+                yield env.timeout(1e-6)
+
+            env.process(proc())
+            env.run()
+
+        tick()
+        detector.mark()
+        tick()
+        assert detector.mark()
+        now = env.now
+        detector.fast_forward(0)
+        assert env.now == now
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SteadyStateDetector(self._runtime(), verify_iterations=0)
+
+
+class TestConfigGuards:
+    def test_off_by_default(self):
+        assert UvmDriverConfig().steady_state_fastforward is False
+
+    def test_rejects_event_log_combination(self):
+        config = UvmDriverConfig(
+            steady_state_fastforward=True, event_log_enabled=True
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_rejects_golden_trace_combination(self):
+        config = UvmDriverConfig(
+            steady_state_fastforward=True, keep_transfer_records=True
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_verify_iterations_validated(self):
+        with pytest.raises(ValueError):
+            UvmDriverConfig(steady_state_verify_iterations=0).validate()
+
+    def test_event_log_capacity_validated(self):
+        with pytest.raises(ValueError):
+            UvmDriverConfig(event_log_capacity=0).validate()
+        UvmDriverConfig(event_log_capacity=None).validate()
