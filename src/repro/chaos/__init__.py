@@ -1,0 +1,42 @@
+"""Deterministic fault injection (chaos) with online invariant validation.
+
+The chaos subsystem perturbs a running simulation at *event* granularity
+while checking, mid-flight, that the UVM driver's structural invariants
+and the discard directive's data semantics survive every perturbation:
+
+- :class:`ChaosConfig` — the seed-driven fault schedule.  One seed fully
+  determines every injection, so any chaos run is exactly reproducible.
+- :class:`ChaosInjector` — an engine monitor that degrades the
+  interconnect, arms transient DMA faults, retires ECC-hit frames,
+  storms/reorders fault batches, aborts kernels mid-launch and spikes
+  memory pressure, all on the schedule the seed draws.
+- :class:`OnlineValidator` — an engine monitor running
+  :func:`repro.harness.validation.check_driver_invariants` (plus the
+  transfer-byte conservation checks) at a configurable event cadence
+  *during* the simulation, not just at quiescence.
+- :mod:`repro.chaos.runner` — the differential oracle: runs each
+  functional workload fault-free and under chaos, asserting byte-identical
+  outputs and reproducible event traces.
+
+See ``docs/VALIDATION.md`` for the fault taxonomy and determinism rules.
+"""
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.runner import (
+    ChaosRunReport,
+    ChaosWorkloadResult,
+    run_chaos_suite,
+    trace_digest,
+)
+from repro.chaos.schedule import ChaosConfig
+from repro.chaos.validator import OnlineValidator
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosRunReport",
+    "ChaosWorkloadResult",
+    "OnlineValidator",
+    "run_chaos_suite",
+    "trace_digest",
+]

@@ -1,0 +1,171 @@
+"""The seed-driven chaos schedule.
+
+A :class:`ChaosConfig` fully determines a fault-injection run: the seed
+plus the per-mechanism intervals are the *only* inputs to the injector's
+random streams, and every stream is keyed by a fixed string tag, so
+
+- the same config always produces the same injection schedule, and
+- enabling one mechanism never shifts another mechanism's draws.
+
+Intervals are expressed in *engine events* (the deterministic clock of
+:attr:`repro.engine.core.Environment.event_count`), not simulated
+seconds: injections themselves add events, and an event-count clock makes
+the schedule self-consistent under that feedback.  An interval of 0
+disables the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, dataclass, field, fields
+from typing import Dict, Tuple
+
+from repro.units import us
+
+
+@dataclass
+class ChaosConfig:
+    """Fault taxonomy knobs; all intervals are mean engine-event counts."""
+
+    #: Master seed.  Every mechanism derives its own stream as
+    #: ``random.Random(f"{seed}:{tag}")``.
+    seed: int = 0
+
+    # --- interconnect degradation ---------------------------------------
+    #: Mean events between degradation windows (0 = off).
+    link_degrade_interval: int = 0
+    #: Window length, in events, before the link is restored.
+    link_degrade_duration: int = 400
+    #: Bandwidth multiplier range drawn per window (uniform).
+    link_degrade_factor_min: float = 0.25
+    link_degrade_factor_max: float = 0.75
+    #: Added per-command latency during a window (a congested switch).
+    link_degrade_extra_latency: float = field(default=us(15.0))
+
+    # --- transient transfer (DMA) faults --------------------------------
+    #: Mean events between armed transfer faults (0 = off).  Each armed
+    #: fault aborts the next DMA command on the link mid-flight; the
+    #: migration engine's retry/backoff path recovers.
+    transfer_fault_interval: int = 0
+
+    # --- ECC frame retirement -------------------------------------------
+    #: Mean events between ECC retirements (0 = off).  Each retirement
+    #: forcibly vacates one frame (remapping/evicting its resident block)
+    #: and removes it from the pool for the rest of the run.
+    ecc_retire_interval: int = 0
+    #: Ceiling on retired frames as a fraction of initial capacity, so a
+    #: long run cannot retire a GPU into the ground.
+    ecc_max_retired_fraction: float = 0.125
+
+    # --- fault-replay storms and batch reordering -----------------------
+    #: Mean events between replay storms (0 = off).  A storm makes the
+    #: next fault batch replay repeatedly before it is serviced, charging
+    #: its batch overhead ``replay_storm_factor`` extra times.
+    replay_storm_interval: int = 0
+    replay_storm_factor: int = 3
+    #: Probability that any given fault batch is serviced in a permuted
+    #: order (0.0 = off).  Exercises order-independence of the residency
+    #: state machine.
+    batch_reorder_probability: float = 0.0
+
+    # --- kernel abort-and-retry -----------------------------------------
+    #: Probability, per wave boundary, that the running kernel is killed
+    #: and re-executed from its first wave (0.0 = off).
+    kernel_abort_probability: float = 0.0
+    #: Max aborts per kernel launch (guarantees termination).
+    kernel_abort_limit: int = 2
+
+    # --- oversubscription pressure spikes -------------------------------
+    #: Mean events between pressure spikes (0 = off).  A spike reserves a
+    #: slice of free GPU memory (an idle co-tenant waking up) and returns
+    #: it after ``pressure_spike_duration`` events.
+    pressure_spike_interval: int = 0
+    #: Frames grabbed per spike (clamped to what is actually free).
+    pressure_spike_frames: int = 4
+    pressure_spike_duration: int = 600
+
+    def validate(self) -> None:
+        for name in (
+            "link_degrade_interval",
+            "link_degrade_duration",
+            "transfer_fault_interval",
+            "ecc_retire_interval",
+            "replay_storm_interval",
+            "replay_storm_factor",
+            "kernel_abort_limit",
+            "pressure_spike_interval",
+            "pressure_spike_frames",
+            "pressure_spike_duration",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"ChaosConfig.{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if not 0.0 < self.link_degrade_factor_min <= self.link_degrade_factor_max <= 1.0:
+            raise ValueError(
+                "ChaosConfig link-degrade factor range must satisfy "
+                "0 < min <= max <= 1, got "
+                f"[{self.link_degrade_factor_min}, {self.link_degrade_factor_max}]"
+            )
+        if self.link_degrade_extra_latency < 0:
+            raise ValueError("ChaosConfig.link_degrade_extra_latency must be >= 0")
+        for name in ("batch_reorder_probability", "kernel_abort_probability"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(
+                    f"ChaosConfig.{name} must be in [0, 1], got {getattr(self, name)}"
+                )
+        if not 0.0 <= self.ecc_max_retired_fraction < 1.0:
+            raise ValueError(
+                "ChaosConfig.ecc_max_retired_fraction must be in [0, 1), got "
+                f"{self.ecc_max_retired_fraction}"
+            )
+
+    @property
+    def any_enabled(self) -> bool:
+        """Whether any fault mechanism is active."""
+        return bool(
+            self.link_degrade_interval
+            or self.transfer_fault_interval
+            or self.ecc_retire_interval
+            or self.replay_storm_interval
+            or self.batch_reorder_probability
+            or self.kernel_abort_probability
+            or self.pressure_spike_interval
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Non-default fields only — the stable cache/serialization form."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            default = (
+                f.default if f.default is not MISSING
+                else f.default_factory()  # type: ignore[misc]
+            )
+            if value != default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_items(cls, items: Tuple[Tuple[str, object], ...]) -> "ChaosConfig":
+        """Build from the normalized ``(name, value)`` tuple form used by
+        :class:`repro.harness.sweep.SweepPoint`."""
+        config = cls(**dict(items))
+        config.validate()
+        return config
+
+    @classmethod
+    def default_storm(cls, seed: int = 0) -> "ChaosConfig":
+        """The everything-on preset used by the smoke suite and CLI."""
+        return cls(
+            seed=seed,
+            link_degrade_interval=60,
+            link_degrade_duration=40,
+            transfer_fault_interval=30,
+            ecc_retire_interval=80,
+            replay_storm_interval=50,
+            batch_reorder_probability=0.35,
+            kernel_abort_probability=0.15,
+            pressure_spike_interval=70,
+            pressure_spike_frames=3,
+            pressure_spike_duration=60,
+        )

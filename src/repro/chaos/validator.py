@@ -1,0 +1,93 @@
+"""Online invariant validation: the mid-simulation checker.
+
+Promotes :func:`repro.harness.validation.check_driver_invariants` from a
+quiescent-only library call into an engine-scheduled checker: an
+:class:`OnlineValidator` is an engine *monitor* (not a process), so it
+runs between two events without touching the event heap — a validated
+run produces exactly the same event trace as an unvalidated one.
+
+Checks run every ``cadence`` engine events with ``allow_inflight=True``
+(mid-flight residency operations are tolerated, see
+:func:`repro.harness.validation.collect_invariant_problems`) plus the
+transfer-byte conservation invariants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import InvariantViolationError
+from repro.harness.validation import (
+    collect_conservation_problems,
+    collect_invariant_problems,
+)
+from repro.instrument.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.driver.driver import UvmDriver
+    from repro.engine.core import Environment
+
+
+class OnlineValidator:
+    """Scheduled mid-simulation invariant checking for one driver."""
+
+    def __init__(
+        self,
+        driver: "UvmDriver",
+        cadence: int = 256,
+        strict: bool = True,
+        conservation: bool = True,
+    ) -> None:
+        if cadence < 1:
+            raise ValueError(f"cadence must be >= 1, got {cadence}")
+        self.driver = driver
+        self.cadence = cadence
+        #: Raise :class:`~repro.errors.InvariantViolationError` at the
+        #: first violation (``True``) or record and continue (``False``).
+        self.strict = strict
+        self.conservation = conservation
+        self.checks = 0
+        #: ``(event_count, problems)`` for every failed check.
+        self.violations: List[Tuple[int, List[str]]] = []
+        self._env: Optional["Environment"] = None
+        self._next = 0
+
+    def install(self, env: "Environment") -> "OnlineValidator":
+        if self._env is not None:
+            raise RuntimeError("OnlineValidator is already installed")
+        self._env = env
+        self._next = env.event_count + self.cadence
+        env.add_monitor(self._on_event)
+        return self
+
+    def uninstall(self) -> None:
+        if self._env is None:
+            return
+        self._env.remove_monitor(self._on_event)
+        self._env = None
+
+    def check_now(self, allow_inflight: bool = True) -> List[str]:
+        """Run one check immediately; returns (and records) any problems."""
+        driver = self.driver
+        problems = collect_invariant_problems(
+            driver.inspect(), allow_inflight=allow_inflight
+        )
+        if self.conservation:
+            problems.extend(collect_conservation_problems(driver))
+        self.checks += 1
+        driver.counters.bump(Counters.INVARIANT_CHECKS)
+        if problems:
+            count = self._env.event_count if self._env is not None else -1
+            self.violations.append((count, problems))
+            if self.strict:
+                raise InvariantViolationError(
+                    f"online validation failed at event {count}:\n  "
+                    + "\n  ".join(problems)
+                )
+        return problems
+
+    def _on_event(self, env: "Environment", count: int) -> None:
+        if count < self._next:
+            return
+        self._next = count + self.cadence
+        self.check_now(allow_inflight=True)

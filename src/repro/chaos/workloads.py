@@ -1,0 +1,182 @@
+"""Functional workloads for the differential chaos oracle.
+
+Two additions to :mod:`repro.workloads.functional`, chosen so the chaos
+suite covers the paper's workload families: an FIR filter (the streaming
+DSP shape) and a small two-layer MLP forward pass (the "one DL network"
+of the acceptance suite).  Both follow the functional-mode conventions:
+managed buffers carry NumPy arrays, kernel bodies compute real results
+once at launch completion, and every intermediate that dies is discarded
+so the chaos schedule exercises the discard machinery under fire.
+
+All arithmetic uses fixed-order NumPy expressions, so outputs are
+byte-identical across runs of the same inputs — the property the
+differential oracle asserts under any injected fault schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.access import AccessMode
+from repro.cuda.kernel import BufferAccess, KernelSpec
+from repro.cuda.runtime import CudaRuntime
+
+
+def functional_fir(
+    cuda: CudaRuntime,
+    signal: np.ndarray,
+    taps: np.ndarray,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """FIR-filter ``signal`` with ``taps`` on the simulated GPU.
+
+    Stage 1 builds a zero-padded delay line in a scratch buffer; stage 2
+    reduces it against the taps.  The delay line is dead after stage 2 —
+    the discardable intermediate.  Returns the filtered signal.
+    """
+    work = signal.copy()
+    k = int(taps.size)
+    if k < 1:
+        raise ValueError("FIR needs at least one tap")
+    sig = cuda.malloc_managed(work.nbytes, "fir_signal", array=work)
+    tap_arr = taps.copy()
+    tap = cuda.malloc_managed(tap_arr.nbytes, "fir_taps", array=tap_arr)
+    padded = np.zeros(work.size + k - 1, dtype=work.dtype)
+    pad = cuda.malloc_managed(padded.nbytes, "fir_delay_line", array=padded)
+    out_arr = np.zeros_like(work)
+    out = cuda.malloc_managed(out_arr.nbytes, "fir_out", array=out_arr)
+    yield from cuda.host_write(sig)
+    yield from cuda.host_write(tap)
+    cuda.prefetch_async(sig)
+    cuda.prefetch_async(tap)
+
+    def build_delay_line():
+        pad.array[:] = 0
+        pad.array[k - 1 :] = sig.array
+
+    cuda.launch(
+        KernelSpec(
+            "fir_pad",
+            [
+                BufferAccess(sig, AccessMode.READ),
+                BufferAccess(pad, AccessMode.WRITE),
+            ],
+            flops=float(work.size),
+            fn=build_delay_line,
+        )
+    )
+
+    def apply_taps():
+        n = sig.array.size
+        acc = np.zeros(n, dtype=np.float64)
+        for j in range(k):
+            start = k - 1 - j
+            acc += np.float64(tap.array[j]) * pad.array[start : start + n]
+        out.array[:] = acc.astype(out.array.dtype)
+
+    cuda.launch(
+        KernelSpec(
+            "fir_taps",
+            [
+                BufferAccess(pad, AccessMode.READ),
+                BufferAccess(tap, AccessMode.READ),
+                BufferAccess(out, AccessMode.WRITE),
+            ],
+            flops=float(2 * work.size * k),
+            waves=4,
+            fn=apply_taps,
+        )
+    )
+    if discard is not None:
+        # The delay line is dead once the reduction consumed it.
+        cuda.discard_async(pad, mode=discard)
+    yield from cuda.synchronize()
+    yield from cuda.host_read(out)
+    yield from cuda.synchronize()
+    return out.array.copy()
+
+
+def functional_mlp(
+    cuda: CudaRuntime,
+    inputs: np.ndarray,
+    w1: np.ndarray,
+    w2: np.ndarray,
+    iterations: int = 2,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Forward passes of a two-layer MLP (ReLU hidden layer).
+
+    Each iteration computes ``relu(inputs @ w1) @ w2``; the hidden
+    activation buffer is dead after the second layer consumes it and is
+    discarded per iteration — the §6 DL-framework integration pattern
+    (activations freed between forward passes).  Returns the final
+    output matrix.
+    """
+    if inputs.shape[1] != w1.shape[0] or w1.shape[1] != w2.shape[0]:
+        raise ValueError(
+            f"shape mismatch: {inputs.shape} @ {w1.shape} @ {w2.shape}"
+        )
+    x = cuda.malloc_managed(inputs.nbytes, "mlp_inputs", array=inputs.copy())
+    w1_buf = cuda.malloc_managed(w1.nbytes, "mlp_w1", array=w1.copy())
+    w2_buf = cuda.malloc_managed(w2.nbytes, "mlp_w2", array=w2.copy())
+    hidden = np.zeros((inputs.shape[0], w1.shape[1]), dtype=np.float64)
+    hid = cuda.malloc_managed(hidden.nbytes, "mlp_hidden", array=hidden)
+    out_arr = np.zeros((inputs.shape[0], w2.shape[1]), dtype=np.float64)
+    out = cuda.malloc_managed(out_arr.nbytes, "mlp_out", array=out_arr)
+    yield from cuda.host_write(x)
+    yield from cuda.host_write(w1_buf)
+    yield from cuda.host_write(w2_buf)
+    cuda.prefetch_async(x)
+    cuda.prefetch_async(w1_buf)
+    cuda.prefetch_async(w2_buf)
+
+    flops_l1 = float(2 * inputs.shape[0] * w1.shape[0] * w1.shape[1])
+    flops_l2 = float(2 * inputs.shape[0] * w2.shape[0] * w2.shape[1])
+    for iteration in range(iterations):
+
+        def layer1():
+            hid.array[:] = np.maximum(x.array @ w1_buf.array, 0.0)
+
+        cuda.launch(
+            KernelSpec(
+                f"mlp_layer1_{iteration}",
+                [
+                    BufferAccess(x, AccessMode.READ),
+                    BufferAccess(w1_buf, AccessMode.READ),
+                    BufferAccess(hid, AccessMode.WRITE),
+                ],
+                flops=flops_l1,
+                waves=4,
+                fn=layer1,
+            )
+        )
+
+        def layer2():
+            out.array[:] = hid.array @ w2_buf.array
+
+        cuda.launch(
+            KernelSpec(
+                f"mlp_layer2_{iteration}",
+                [
+                    BufferAccess(hid, AccessMode.READ),
+                    BufferAccess(w2_buf, AccessMode.READ),
+                    BufferAccess(out, AccessMode.WRITE),
+                ],
+                flops=flops_l2,
+                waves=4,
+                fn=layer2,
+            )
+        )
+        if discard is not None:
+            # Activations die with the layer that consumed them (§6).
+            cuda.discard_async(hid, mode=discard)
+            if iteration + 1 < iterations:
+                # Lazy discard requires the prefetch notification before
+                # the next iteration re-purposes the buffer (§5.2).
+                cuda.prefetch_async(hid)
+    yield from cuda.synchronize()
+    yield from cuda.host_read(out)
+    yield from cuda.synchronize()
+    return out.array.copy()

@@ -11,6 +11,10 @@ Commands:
 - ``profile`` — benchmark the simulator itself (engine event churn,
   driver fault storm, the Figure 5 macro point), write
   ``BENCH_engine.json`` and optionally gate against a baseline,
+- ``chaos`` — the deterministic fault-injection suite: every workload
+  runs fault-free and twice under the same chaos seed with online
+  invariant validation, asserting byte-identical outputs and a
+  reproducible event trace (see ``docs/VALIDATION.md``),
 - ``demo`` — the VectorAdd quickstart with verified results.
 
 The heavyweight regeneration of *every* table and figure lives in
@@ -270,6 +274,56 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the deterministic fault-injection suite; see docs/VALIDATION.md."""
+    from repro.chaos import ChaosConfig, run_chaos_suite
+    from repro.chaos.runner import CHAOS_WORKLOADS
+
+    try:
+        if args.cadence < 1:
+            raise ConfigurationError(
+                f"--cadence must be >= 1, got {args.cadence}"
+            )
+        workloads = _split(args.workloads) or None
+        if workloads:
+            unknown = sorted(set(workloads) - set(CHAOS_WORKLOADS))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown chaos workloads {unknown}; "
+                    f"have {list(CHAOS_WORKLOADS)}"
+                )
+        overrides = {}
+        for item in _split(args.set):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"--set wants key=value pairs, got {item!r}"
+                )
+            overrides[key.strip()] = float(value) if "." in value else int(value)
+        if overrides:
+            overrides.setdefault("seed", args.seed)
+            config = ChaosConfig.from_items(tuple(overrides.items()))
+        else:
+            config = ChaosConfig.default_storm(seed=args.seed)
+    except (ConfigurationError, TypeError, ValueError) as exc:
+        print(f"bad chaos spec: {exc}", file=sys.stderr)
+        return 2
+    report = run_chaos_suite(
+        seed=args.seed,
+        workloads=workloads,
+        cadence=args.cadence,
+        config=config,
+        strict=args.strict,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.counters:
+        for result in report.results:
+            active = {k: v for k, v in sorted(result.counters.items()) if v}
+            print(f"{result.workload}: {active}")
+    return 0 if report.ok else 1
+
+
 def cmd_demo(_args) -> int:
     import numpy as np
 
@@ -419,6 +473,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one benchmark under cProfile and print the top 25",
     )
     profile.set_defaults(func=cmd_profile)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection suite with online "
+        "invariant validation",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="master chaos seed (default 0)"
+    )
+    chaos.add_argument(
+        "--workloads",
+        help="comma list: fir,radix,hashjoin,mlp (default all four)",
+    )
+    chaos.add_argument(
+        "--cadence",
+        type=int,
+        default=32,
+        help="engine events between online invariant checks (default 32)",
+    )
+    chaos.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort at the first invariant violation instead of recording",
+    )
+    chaos.add_argument(
+        "--set",
+        help="comma list of ChaosConfig key=value overrides "
+        "(replaces the default storm preset)",
+    )
+    chaos.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print each workload's nonzero chaos counters",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     sub.add_parser("demo", help="run the VectorAdd demo").set_defaults(
         func=cmd_demo

@@ -93,20 +93,31 @@ class DiscardManager(abc.ABC):
         Returns a :class:`DiscardOutcome` (via the process return value).
         """
         blocks = list(blocks)
-        cost = self.driver.config.discard_command_overhead
-        discarded = 0
-        skipped = 0
-        for block in blocks:
-            if block.discarded:
-                skipped += 1
-                continue
-            cost += self._discard_block(block)
-            discarded += 1
-        cost += self._batch_epilogue(blocks)
-        self.calls += 1
-        self.total_cost += cost
-        if cost:
-            yield self.driver.env.timeout(cost)
+        # A concurrent eviction (oversubscription churn, or an injected
+        # pressure spike / ECC retirement) may hold a target mid-flight —
+        # popped from its queue with residency still set.  Take the
+        # driver's per-block residency locks before mutating, exactly as
+        # the real driver takes the va_block lock.  Already-discarded
+        # blocks are read-only here and are not locked, keeping the
+        # idempotent re-discard wait-free.
+        targets = [b for b in blocks if not b.discarded]
+        yield from self.driver.lock_blocks(targets)
+        try:
+            cost = self.driver.config.discard_command_overhead
+            discarded = 0
+            for block in targets:
+                if block.discarded:  # re-discarded while we waited
+                    continue
+                cost += self._discard_block(block)
+                discarded += 1
+            skipped = len(blocks) - discarded
+            cost += self._batch_epilogue(blocks)
+            self.calls += 1
+            self.total_cost += cost
+            if cost:
+                yield self.driver.env.timeout(cost)
+        finally:
+            self.driver.unlock_blocks(targets)
         return DiscardOutcome(
             requested_blocks=len(blocks),
             discarded_blocks=discarded,

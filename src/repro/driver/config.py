@@ -79,6 +79,16 @@ class UvmDriverConfig:
     #: mappings and transfers the remainder in 4 KiB pieces.
     require_full_blocks: bool = True
 
+    # --- transfer fault recovery ------------------------------------------
+    #: Retry budget for a DMA command that hits a transient transfer
+    #: fault (injected by the chaos subsystem; real hardware sees these
+    #: as PCIe replay/ECC events).  Exceeding the budget raises
+    #: :class:`~repro.errors.TransferError`.
+    transfer_max_retries: int = 3
+    #: Base backoff between transfer retries; attempt ``n`` waits
+    #: ``n * transfer_retry_backoff`` before re-issuing the command.
+    transfer_retry_backoff: float = field(default=us(20.0))
+
     # --- transfer batching ------------------------------------------------
     #: Batch contiguous va_blocks of one migration under a single
     #: copy-engine hold, mirroring how the real driver issues one ranged
@@ -136,10 +146,16 @@ class UvmDriverConfig:
             "recency_update_per_block",
             "discard_command_overhead",
             "lazy_dirty_clear_per_block",
+            "transfer_retry_backoff",
         ):
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"UvmDriverConfig.{name} must be >= 0, got {value}")
+        if self.transfer_max_retries < 0:
+            raise ValueError(
+                "UvmDriverConfig.transfer_max_retries must be >= 0, got "
+                f"{self.transfer_max_retries}"
+            )
         if self.steady_state_verify_iterations < 1:
             raise ValueError(
                 "UvmDriverConfig.steady_state_verify_iterations must be "

@@ -21,6 +21,7 @@ from typing import Dict, Generator, Iterable, List, Optional, Sequence
 from repro.access import AccessMode
 from repro.core.semantics import DataOracle
 from repro.driver.config import UvmDriverConfig
+from repro.driver.inspect import BlockView, DriverInspection, GpuView
 from repro.driver.migration import CopyEngines, MigrationEngine
 from repro.driver.queues import GpuPageQueues
 from repro.driver.va_block import CPU, DiscardKind, VaBlock
@@ -103,7 +104,15 @@ class UvmDriver:
         self.migration = MigrationEngine(
             env, link, self.traffic, self.rmt,
             coalesce=self.config.coalesce_transfers,
+            counters=self.counters,
         )
+        self.migration.max_retries = self.config.transfer_max_retries
+        self.migration.retry_backoff = self.config.transfer_retry_backoff
+        #: Optional fault injector (:class:`repro.chaos.ChaosInjector`).
+        #: When set, :meth:`handle_gpu_faults` routes each fault batch
+        #: through it so injected storms and reorderings perturb the
+        #: servicing schedule.
+        self.chaos = None
         # CPU PTE operations are local and cheap compared to GPU ones.
         self.cpu_page_table = PageTable(
             CPU,
@@ -172,6 +181,8 @@ class UvmDriver:
         config.validate()
         self.config = config
         self.migration.coalesce = config.coalesce_transfers
+        self.migration.max_retries = config.transfer_max_retries
+        self.migration.retry_backoff = config.transfer_retry_backoff
         self.log.enabled = config.event_log_enabled
         self.traffic._keep_records = config.keep_transfer_records
 
@@ -216,6 +227,56 @@ class UvmDriver:
     def gpu_queues(self, name: str) -> GpuPageQueues:
         return self._gpu(name).queues
 
+    def inspect(self) -> DriverInspection:
+        """Build an immutable snapshot of all driver-visible state.
+
+        The public inspection API: validators and tests consume this
+        instead of reaching into ``_gpus``/``_blocks``/``_inflight``.
+        Safe to call between any two engine events (not only at
+        quiescence); the returned views never alias live driver objects.
+        """
+        gpus: Dict[str, GpuView] = {}
+        for name, g in self._gpus.items():
+            gpus[name] = GpuView(
+                name=name,
+                capacity_frames=g.allocator.capacity_frames,
+                free_frames=g.allocator.free_frames,
+                used_frames=g.allocator.used_frames,
+                retired_frames=g.allocator.retired_frames,
+                unused_queue_frames=len(g.queues.unused),
+                used_queue_blocks=tuple(b.index for b in g.queues.used),
+                discarded_queue_blocks=tuple(
+                    b.index for b in g.queues.discarded
+                ),
+                mapped_blocks=g.page_table.mapped_indices(),
+            )
+        blocks: Dict[int, BlockView] = {}
+        for index, block in self._blocks.items():
+            frame = block.frame
+            blocks[index] = BlockView(
+                index=index,
+                used_bytes=block.used_bytes,
+                residency=block.residency,
+                has_frame=frame is not None,
+                frame_owner=None if frame is None else frame.owner,
+                frame_allocated=frame is not None and frame.allocated,
+                populated=block.populated,
+                discarded=block.discarded,
+                discard_kind=(
+                    None
+                    if block.discard_kind is None
+                    else block.discard_kind.value
+                ),
+                sw_dirty=block.sw_dirty,
+                written_since_discard=block.written_since_discard,
+            )
+        return DriverInspection(
+            gpus=gpus,
+            blocks=blocks,
+            inflight=frozenset(self._inflight),
+            cpu_mapped=self.cpu_page_table.mapped_indices(),
+        )
+
     def gpu_page_table(self, name: str) -> PageTable:
         return self._gpu(name).page_table
 
@@ -231,11 +292,126 @@ class UvmDriver:
         self._gpu(name).allocator.reserve(frames)
 
     def release_gpu_memory(self, name: str, nbytes: int) -> None:
-        """Undo a :meth:`reserve_gpu_memory` (the `cudaFree` path)."""
+        """Undo a :meth:`reserve_gpu_memory` (the `cudaFree` path).
+
+        Clamped to what is still reserved: under absolute memory
+        pressure the driver may have commandeered part of a reservation
+        already (see :meth:`_acquire_frame`), in which case the holder
+        frees only what it still owns.
+        """
         from repro.units import BIG_PAGE, align_up
 
+        allocator = self._gpu(name).allocator
         frames = align_up(nbytes, BIG_PAGE) // BIG_PAGE
-        self._gpu(name).allocator.unreserve(frames)
+        allocator.unreserve(min(frames, allocator.reserved_frames))
+
+    def reserve_gpu_frames(self, gpu: str, nframes: int) -> Generator:
+        """Evict-to-reserve: pin up to ``nframes`` frames, vacating first.
+
+        Unlike :meth:`reserve_gpu_memory` (which needs the frames to be
+        free already), this models a co-tenant allocation landing on a
+        busy GPU: resident blocks are evicted through the ordinary
+        machinery to make room.  Best-effort — returns the number of
+        frames actually reserved, which may fall short when nothing is
+        evictable.  A generator process; charges the eviction time.
+        """
+        g = self._gpu(gpu)
+        if nframes < 0:
+            raise ValueError(f"negative reservation: {nframes}")
+        reserved = 0
+        stalls = 0
+        while reserved < nframes:
+            if g.allocator.free_frames > 0:
+                g.allocator.reserve(1)
+                reserved += 1
+                stalls = 0
+                continue
+            try:
+                evicted = yield from self._evict_one(g)
+            except OutOfMemoryError:
+                break  # the pool is exhausted; keep what we got
+            if evicted:
+                stalls = 0
+                continue
+            foreign_index = next(iter(self._inflight), None)
+            if foreign_index is None:
+                break  # nothing evictable and nothing in flight: give up
+            stalls += 1
+            if stalls > 10_000:
+                break
+            event = self._inflight[foreign_index]
+            if event is None:
+                event = self.env.event()
+                self._inflight[foreign_index] = event
+            yield event  # type: ignore[misc]
+        return reserved
+
+    def retire_frames(self, gpu: str, nframes: int = 1) -> Generator:
+        """ECC-style page retirement: permanently remove ``nframes`` (§ chaos).
+
+        Models the driver's response to uncorrectable ECC errors: the
+        afflicted physical frames are taken out of service for the rest
+        of the run.  Each retirement first *vacates* a frame through the
+        ordinary eviction machinery (unused → discarded → used-LRU), so
+        a resident block backed by a failing frame is remapped — its
+        data migrated or reclaimed — before the frame disappears.  A
+        generator process; charges whatever time the forced evictions
+        cost.
+        """
+        g = self._gpu(gpu)
+        if nframes < 0:
+            raise ValueError(f"negative retirement: {nframes}")
+        counters = self.counters
+        retired = 0
+        stalls = 0
+        while retired < nframes:
+            if g.allocator.capacity_frames <= 1:
+                raise OutOfMemoryError(
+                    f"{g.name}: cannot retire the last remaining frame"
+                )
+            if g.allocator.free_frames == 0:
+                displaced_before = (
+                    counters[Counters.EVICTED_BLOCKS]
+                    + counters[Counters.EVICTED_DISCARDED_BLOCKS]
+                )
+                evicted = yield from self._evict_one(g)
+                if not evicted:
+                    # Everything evictable is locked by concurrent
+                    # residency operations; wait for one to finish.
+                    foreign_index = next(iter(self._inflight), None)
+                    if foreign_index is None:
+                        raise OutOfMemoryError(
+                            f"{g.name}: nothing evictable to vacate a "
+                            "frame for ECC retirement"
+                        )
+                    stalls += 1
+                    if stalls > 10_000:
+                        raise SimulationError(
+                            f"{g.name}: ECC retirement starved by "
+                            "concurrent residency operations"
+                        )
+                    event = self._inflight[foreign_index]
+                    if event is None:
+                        event = self.env.event()
+                        self._inflight[foreign_index] = event
+                    yield event  # type: ignore[misc]
+                    continue
+                stalls = 0
+                displaced = (
+                    counters[Counters.EVICTED_BLOCKS]
+                    + counters[Counters.EVICTED_DISCARDED_BLOCKS]
+                    - displaced_before
+                )
+                if displaced:
+                    counters.bump(Counters.ECC_REMAPPED_BLOCKS, displaced)
+                continue
+            g.allocator.retire(1)
+            retired += 1
+            counters.bump(Counters.ECC_RETIRED_FRAMES)
+            if self.log.enabled:
+                self.log.log(
+                    self.env.now, "ecc", "retired one frame on %s", g.name
+                )
 
     def register_blocks(self, blocks: Iterable[VaBlock]) -> None:
         """Make an allocation's blocks known to the driver."""
@@ -302,6 +478,16 @@ class UvmDriver:
                     (i for i in self._inflight if i not in own_indices), None
                 )
                 if foreign_index is None:
+                    if self.chaos is not None and g.allocator.reserved_frames > 0:
+                        # Absolute pressure under fault injection: rather
+                        # than fail the program, commandeer one frame from
+                        # a co-tenant reservation (an injected pressure
+                        # spike) — the real driver's managed memory always
+                        # wins over a transient occupant.  Never reached
+                        # fault-free, so baseline behavior is unchanged.
+                        g.allocator.unreserve(1)
+                        self.counters.bump(Counters.RECLAIMED_RESERVED_FRAMES)
+                        continue
                     raise OutOfMemoryError(
                         f"{g.name}: out of memory — this operation alone "
                         "pins more blocks than the device has frames"
@@ -493,6 +679,23 @@ class UvmDriver:
             event = inflight.pop(block.index, _MISSING)
             if event is not None and event is not _MISSING:
                 event.succeed()  # type: ignore[attr-defined]
+
+    def lock_blocks(self, blocks: Sequence[VaBlock]) -> Generator:
+        """Claim ``blocks`` against concurrent residency operations.
+
+        Public entry point for driver clients (the discard managers)
+        whose state transitions must not interleave with an in-flight
+        eviction or migration of the same block — e.g. a pressure-spike
+        eviction that has popped a block from the used queue while a
+        discard still expects to find it there.  Yields nothing when no
+        block is contended, so uncontended traces are unchanged.  Must
+        be paired with :meth:`unlock_blocks`.
+        """
+        yield from self._lock_blocks(blocks)
+
+    def unlock_blocks(self, blocks: Sequence[VaBlock]) -> None:
+        """Release locks taken by :meth:`lock_blocks`."""
+        self._unlock_blocks(blocks)
 
     # ------------------------------------------------------------------
     # making blocks resident on a GPU (faults and prefetch share this)
@@ -787,6 +990,9 @@ class UvmDriver:
         blocks = list(blocks)
         if not blocks:
             return
+        chaos = self.chaos
+        if chaos is not None:
+            blocks = yield from chaos.on_fault_batch(self, gpu, blocks)
         self.counters.bump(Counters.GPU_FAULT_BATCHES)
         self.counters.bump(Counters.GPU_FAULTED_BLOCKS, len(blocks))
         yield self.env.timeout(

@@ -10,13 +10,17 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, List, Sequence
 
+from typing import Optional
+
 from repro.driver.va_block import VaBlock
 from repro.engine.core import Environment
 from repro.engine.resources import Resource
+from repro.errors import TransferError
+from repro.instrument.counters import Counters
 from repro.instrument.rmt import RmtClassifier
 from repro.instrument.traffic import TrafficRecorder, TransferDirection, TransferReason
 from repro.interconnect.link import Link
-from repro.units import BIG_PAGE, SMALL_PAGE
+from repro.units import BIG_PAGE, SMALL_PAGE, us
 
 
 def coalesce_spans(blocks: Iterable[VaBlock]) -> List[List[VaBlock]]:
@@ -60,6 +64,11 @@ class CopyEngines:
 class MigrationEngine:
     """Executes block transfers over one link, with traffic accounting."""
 
+    #: Fraction of a command's wire time burned before a transient fault
+    #: aborts it — the DMA engine detects the failure mid-flight, so the
+    #: wasted wire occupancy is charged but no bytes are accounted.
+    FAULT_WASTE_FRACTION = 0.5
+
     def __init__(
         self,
         env: Environment,
@@ -67,6 +76,7 @@ class MigrationEngine:
         traffic: TrafficRecorder,
         rmt: RmtClassifier,
         coalesce: bool = True,
+        counters: Optional[Counters] = None,
     ) -> None:
         self.env = env
         self.link = link
@@ -78,10 +88,48 @@ class MigrationEngine:
         #: traffic bytes and RMT counts are identical; only the number of
         #: host-side engine-arbitration events changes.
         self.coalesce = coalesce
+        self.counters = counters
+        #: Retry budget and exponential-backoff base for injected
+        #: transient transfer faults; the driver sets both from its
+        #: config (``transfer_max_retries`` / ``transfer_retry_backoff``).
+        self.max_retries = 3
+        self.retry_backoff = us(20.0)
 
     def transfer_time(self, nbytes: int) -> float:
         """Wire time for one coalesced command of ``nbytes``."""
         return self.link.transfer_time(nbytes, chunk=min(nbytes, BIG_PAGE))
+
+    def _timed_command(self, link: Link, nbytes: int, chunk: int) -> Generator:
+        """Occupy the wire for one DMA command, retrying injected faults.
+
+        Every attempt that hits an armed transient fault burns
+        :data:`FAULT_WASTE_FRACTION` of its wire time (the command aborts
+        mid-flight), waits a linearly growing backoff and retries.  Bytes
+        are *never* accounted here — callers record traffic only after
+        this generator returns, i.e. only for the successful attempt, so
+        the byte-conservation invariant holds across any fault schedule.
+        """
+        counters = self.counters
+        attempts = 0
+        limit = link.fault_consumption_limit
+        while (
+            limit is None or attempts < limit
+        ) and link.consume_transfer_fault():
+            attempts += 1
+            if counters is not None:
+                counters.bump(Counters.TRANSFER_FAULTS)
+            wasted = link.transfer_time(nbytes, chunk=chunk)
+            yield self.env.timeout(wasted * self.FAULT_WASTE_FRACTION)
+            if attempts > self.max_retries:
+                raise TransferError(
+                    f"{link.name}: DMA command of {nbytes} bytes failed "
+                    f"{attempts} times, exceeding the retry budget of "
+                    f"{self.max_retries}"
+                )
+            if counters is not None:
+                counters.bump(Counters.TRANSFER_RETRIES)
+            yield self.env.timeout(self.retry_backoff * attempts)
+        yield self.env.timeout(link.transfer_time(nbytes, chunk=chunk))
 
     def transfer_blocks(
         self,
@@ -115,9 +163,7 @@ class MigrationEngine:
                     chunk = (
                         SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
                     )
-                    yield env.timeout(
-                        self.link.transfer_time(span_bytes, chunk=chunk)
-                    )
+                    yield from self._timed_command(self.link, span_bytes, chunk)
                     record(
                         env.now,
                         direction,
@@ -140,9 +186,7 @@ class MigrationEngine:
             request = engine.request()
             yield request
             try:
-                yield self.env.timeout(
-                    self.link.transfer_time(span_bytes, chunk=chunk)
-                )
+                yield from self._timed_command(self.link, span_bytes, chunk)
             finally:
                 engine.release(request)
             self.traffic.record(
@@ -184,9 +228,7 @@ class MigrationEngine:
             try:
                 for span in coalesce_spans(blocks):
                     span_bytes = sum(b.used_bytes for b in span)
-                    yield env.timeout(
-                        p2p_link.transfer_time(span_bytes, chunk=BIG_PAGE)
-                    )
+                    yield from self._timed_command(p2p_link, span_bytes, BIG_PAGE)
                     self.traffic.record(
                         env.now,
                         TransferDirection.DEVICE_TO_DEVICE,
@@ -213,9 +255,7 @@ class MigrationEngine:
             in_request = destination_engines.h2d.request()
             yield in_request
             try:
-                yield self.env.timeout(
-                    p2p_link.transfer_time(span_bytes, chunk=BIG_PAGE)
-                )
+                yield from self._timed_command(p2p_link, span_bytes, BIG_PAGE)
             finally:
                 source_engines.d2h.release(out_request)
                 destination_engines.h2d.release(in_request)
@@ -251,7 +291,9 @@ class MigrationEngine:
             request = engine.request()
             yield request
         try:
-            yield self.env.timeout(self.transfer_time(nbytes))
+            yield from self._timed_command(
+                self.link, nbytes, min(nbytes, BIG_PAGE)
+            )
         finally:
             engine.release(request)
         self.traffic.record(self.env.now, direction, nbytes, reason)

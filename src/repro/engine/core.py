@@ -307,18 +307,53 @@ class AllOf(Event):
 class Environment:
     """The simulation environment: virtual clock plus the event heap."""
 
-    __slots__ = ("_now", "_heap", "_sequence", "_timeout_pool")
+    __slots__ = ("_now", "_heap", "_sequence", "_timeout_pool", "_monitors",
+                 "_event_count")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self._timeout_pool: List[Timeout] = []
+        # Per-event observers, called after each processed event with
+        # (env, event_count).  Kept as a plain list whose *binding* is
+        # replaced on mutation, so an in-flight iteration in the run loop
+        # never sees a half-updated list.  Empty in the common case: the
+        # loops pay one truthiness test per event.
+        self._monitors: List[Callable[["Environment", int], None]] = []
+        self._event_count = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Events processed so far — the monotone injection/cadence clock
+        used by the chaos injector and the online validator.  Advances by
+        exactly one per processed event, so with a fixed program and a
+        fixed seed it is a deterministic schedule coordinate."""
+        return self._event_count
+
+    def add_monitor(
+        self, monitor: Callable[["Environment", int], None]
+    ) -> Callable[["Environment", int], None]:
+        """Register a per-event observer; returns it for later removal.
+
+        Monitors run after every processed event, in registration order,
+        at the then-current simulation time.  They may schedule new
+        events/processes (the chaos injector does) but must not raise
+        unless the whole run should abort (the strict validator does).
+        """
+        self._monitors = self._monitors + [monitor]
+        return monitor
+
+    def remove_monitor(
+        self, monitor: Callable[["Environment", int], None]
+    ) -> None:
+        """Unregister a monitor; no-op when it is not installed."""
+        self._monitors = [m for m in self._monitors if m is not monitor]
 
     @property
     def quiescent(self) -> bool:
@@ -385,6 +420,11 @@ class Environment:
             raise SimulationError(f"time went backwards: {time} < {self._now}")
         self._now = time
         event._process_callbacks()
+        self._event_count += 1
+        if self._monitors:
+            count = self._event_count
+            for monitor in self._monitors:
+                monitor(self, count)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
@@ -419,6 +459,11 @@ class Environment:
                     and getrefcount(event) == 2
                 ):
                     pool.append(event)
+                self._event_count += 1
+                if self._monitors:
+                    count = self._event_count
+                    for monitor in self._monitors:
+                        monitor(self, count)
             if sentinel._exception is not None:
                 raise sentinel._exception
             return sentinel._value
@@ -444,6 +489,11 @@ class Environment:
                 and getrefcount(event) == 2
             ):
                 pool.append(event)
+            self._event_count += 1
+            if self._monitors:
+                count = self._event_count
+                for monitor in self._monitors:
+                    monitor(self, count)
         if deadline is not None and deadline > self._now:
             self._now = deadline
         return None

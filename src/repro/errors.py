@@ -70,3 +70,21 @@ class DataCorruptionError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or device was configured with inconsistent parameters."""
+
+
+class TransferError(SimulationError):
+    """A DMA command failed more times than the driver's retry budget.
+
+    Raised by the migration engine when injected transient transfer
+    faults (see :meth:`repro.interconnect.link.Link.inject_transfer_fault`)
+    outlast ``UvmDriverConfig.transfer_max_retries``.
+    """
+
+
+class InvariantViolationError(SimulationError):
+    """The online validation layer observed an inconsistent driver state.
+
+    Raised (in strict mode) or recorded (otherwise) by
+    :class:`repro.chaos.OnlineValidator`; carries the first violated
+    invariant's description.
+    """

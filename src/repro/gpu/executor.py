@@ -86,29 +86,48 @@ class GpuExecutor:
             # bind the page-table probe once for the whole launch.
             is_mapped = self.driver.gpu_page_table(self.gpu.name).is_mapped
             note_access = self.driver.note_access
-            for wave in waves:
-                # One fault batch per wave: the GPU's fault buffer fills
-                # with every miss the wave's warps produce, and the driver
-                # services them together.
-                missing: List[VaBlock] = []
-                seen = set()
-                for block, _mode in wave:
-                    index = block.index
-                    if index in seen:
-                        continue
-                    seen.add(index)
-                    if not is_mapped(index):
-                        missing.append(block)
-                if missing and self.remote_access:
-                    yield from self._access_remotely(missing)
-                elif missing:
-                    stall_start = self.env.now
-                    yield from self.driver.handle_gpu_faults(self.gpu.name, missing)
-                    self.fault_stall_seconds += self.env.now - stall_start
-                for block, mode in wave:
-                    note_access(block, mode)
-                if compute_per_wave > 0:
-                    yield self.env.timeout(compute_per_wave)
+            chaos = self.driver.chaos
+            restart = True
+            while restart:
+                restart = False
+                for wave_index, wave in enumerate(waves):
+                    # One fault batch per wave: the GPU's fault buffer fills
+                    # with every miss the wave's warps produce, and the driver
+                    # services them together.
+                    missing: List[VaBlock] = []
+                    seen = set()
+                    for block, _mode in wave:
+                        index = block.index
+                        if index in seen:
+                            continue
+                        seen.add(index)
+                        if not is_mapped(index):
+                            missing.append(block)
+                    if missing and self.remote_access:
+                        yield from self._access_remotely(missing)
+                    elif missing:
+                        stall_start = self.env.now
+                        yield from self.driver.handle_gpu_faults(
+                            self.gpu.name, missing
+                        )
+                        self.fault_stall_seconds += self.env.now - stall_start
+                    for block, mode in wave:
+                        note_access(block, mode)
+                    if compute_per_wave > 0:
+                        yield self.env.timeout(compute_per_wave)
+                    # Injected abort-and-retry: a transient execution fault
+                    # (e.g. an uncorrectable ECC hit mid-kernel) kills the
+                    # launch at a wave boundary; the runtime re-executes it
+                    # from wave 0.  Re-servicing faults and re-noting
+                    # accesses is idempotent for residency and the oracle,
+                    # and ``kernel.fn`` runs only once, after the final
+                    # successful pass — so functional results are
+                    # unaffected.
+                    if chaos is not None and chaos.kernel_abort(
+                        self, kernel, wave_index
+                    ):
+                        restart = True
+                        break
             if kernel.fn is not None:
                 kernel.fn()
         finally:

@@ -19,7 +19,10 @@ from repro.harness.sweep import (
     run_sweep,
 )
 from repro.harness.systems import DiscardPolicy, System
-from repro.harness.validation import check_driver_invariants
+from repro.harness.validation import (
+    check_driver_invariants,
+    check_transfer_conservation,
+)
 
 __all__ = [
     "apply_oversubscription",
@@ -35,4 +38,5 @@ __all__ = [
     "System",
     "DiscardPolicy",
     "check_driver_invariants",
+    "check_transfer_conservation",
 ]

@@ -119,10 +119,30 @@ class SweepPoint:
     #: from serialized dicts (and hence cache keys) when unset, so the
     #: field's introduction invalidates no existing cache entries.
     batches: Optional[int] = None
+    #: Chaos-injection overrides (:class:`repro.chaos.ChaosConfig`
+    #: fields), normalized like ``driver``.  Omitted from serialized
+    #: dicts (and cache keys) when empty, so the field's introduction
+    #: invalidates no existing cache entries.  Chaos applies to the
+    #: measured body only — setup prefixes stay chaos-free — so chaos
+    #: points share prefix snapshots with fault-free ones.
+    chaos: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "system", _normalize_system(self.system))
         object.__setattr__(self, "driver", _normalize_driver(self.driver))
+        object.__setattr__(self, "chaos", _normalize_driver(self.chaos))
+        if self.chaos:
+            if System(self.system) is System.NO_UVM:
+                raise ConfigurationError(
+                    "chaos injection requires a UVM system; No-UVM has no "
+                    "fault-handling driver to perturb"
+                )
+            from repro.chaos.schedule import ChaosConfig
+
+            try:
+                ChaosConfig.from_items(self.chaos)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(f"bad chaos override: {exc}") from None
         if self.is_dl:
             network = self.workload.split(":", 1)[1]
             if network not in DL_BATCH_GRID:
@@ -184,6 +204,7 @@ class SweepPoint:
         return (
             f"{self.workload}/{self.system}/{self.link}/"
             f"{self.config_label}@x{self.scale:g}"
+            f"{'+chaos' if self.chaos else ''}"
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -199,13 +220,15 @@ class SweepPoint:
         }
         if self.batches is not None:
             data["batches"] = self.batches
+        if self.chaos:
+            data["chaos"] = dict(self.chaos)
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SweepPoint":
         unknown = set(data) - {
             "workload", "system", "link", "ratio", "batch_size",
-            "scale", "gpu", "driver", "batches",
+            "scale", "gpu", "driver", "batches", "chaos",
         }
         if unknown:
             raise ConfigurationError(f"unknown sweep-point keys: {sorted(unknown)}")
@@ -354,6 +377,52 @@ def _micro_workload(point: SweepPoint):
     return HashJoinWorkload(HashJoinConfig().scaled(point.scale))
 
 
+def _install_chaos(runtime, point: SweepPoint):
+    """Build and install the point's injector; ``None`` when chaos-free."""
+    if not point.chaos:
+        return None
+    from repro.chaos.injector import ChaosInjector
+    from repro.chaos.schedule import ChaosConfig
+
+    return ChaosInjector(ChaosConfig.from_items(point.chaos)).install(runtime)
+
+
+def _execute_chaos_point(
+    point: SweepPoint, gpu, link, driver_config
+) -> Optional[ExperimentResult]:
+    """Cold run of a chaos point, always split-phase.
+
+    The injector attaches only after the (chaos-free) setup prefix —
+    exactly where :func:`execute_group` attaches it on a snapshot fork —
+    so cold and forked chaos runs see identical injection schedules.
+    """
+    from repro.harness.runner import run_uvm_body, run_uvm_prefix
+
+    plan = _point_plan(point)
+    if plan is None:  # pragma: no cover - chaos+No-UVM rejected earlier
+        raise ConfigurationError(f"{point.label}: chaos needs a UVM system")
+    try:
+        runtime = run_uvm_prefix(plan.setup, gpu, link, driver_config=driver_config)
+    except OutOfMemoryError:
+        return None
+    injector = _install_chaos(runtime, point)
+    try:
+        return run_uvm_body(
+            runtime,
+            plan.body,
+            plan.system,
+            plan.config_label,
+            plan.app_bytes,
+            plan.ratio,
+            metric=plan.metric,
+        )
+    except OutOfMemoryError:
+        return None
+    finally:
+        if injector is not None:
+            injector.uninstall()
+
+
 def execute_point(point: SweepPoint) -> Optional[ExperimentResult]:
     """Simulate one point; ``None`` when the configuration does not fit
     (the paper's No-UVM OOM crash under oversubscription)."""
@@ -361,6 +430,8 @@ def execute_point(point: SweepPoint) -> Optional[ExperimentResult]:
     gpu = _gpu_spec(point)
     link = _link(point)
     driver_config = _driver_config(point)
+    if point.chaos:
+        return _execute_chaos_point(point, gpu, link, driver_config)
     try:
         if point.is_dl:
             trainer = _dl_trainer(point, system)
@@ -399,8 +470,10 @@ def prefix_key(point: SweepPoint) -> Optional[Tuple]:
     ``None`` cases: No-UVM (monolithic program, no split), and points
     that opt out via a ``snapshot_reuse=False`` driver override.  The
     key deliberately excludes ``system`` (all UVM systems share the
-    same CPU-only setup) and ``ratio`` (the oversubscription occupant
-    is reserved after forking and costs no simulated time).
+    same CPU-only setup), ``ratio`` (the oversubscription occupant is
+    reserved after forking and costs no simulated time), and ``chaos``
+    (the injector installs per fork, after the shared prefix — setup is
+    always simulated fault-free).
     """
     if System(point.system) is System.NO_UVM:
         return None
@@ -496,6 +569,9 @@ def execute_group(points: Sequence[SweepPoint]) -> List[Optional[ExperimentResul
     for point, plan in zip(points, plans):
         forked = snapshot.fork()
         forked.driver.reconfigure(_driver_config(point) or UvmDriverConfig())
+        # Chaos installs per fork, after the shared chaos-free prefix, so
+        # chaos points group with fault-free points (see prefix_key).
+        injector = _install_chaos(forked, point)
         try:
             results.append(
                 run_uvm_body(
@@ -510,6 +586,9 @@ def execute_group(points: Sequence[SweepPoint]) -> List[Optional[ExperimentResul
             )
         except OutOfMemoryError:
             results.append(None)
+        finally:
+            if injector is not None:
+                injector.uninstall()
     return results
 
 

@@ -30,6 +30,18 @@ class Counters:
     PREFETCH_RECENCY_ONLY = "prefetch_recency_only"
     AUTO_PREFETCHED_BLOCKS = "auto_prefetched_blocks"
     LAZY_MISUSES = "lazy_misuses"
+    # Fault-injection (chaos) and recovery-path counters.
+    TRANSFER_FAULTS = "transfer_faults"
+    TRANSFER_RETRIES = "transfer_retries"
+    ECC_RETIRED_FRAMES = "ecc_retired_frames"
+    ECC_REMAPPED_BLOCKS = "ecc_remapped_blocks"
+    KERNEL_ABORTS = "kernel_aborts"
+    FAULT_REPLAY_STORMS = "fault_replay_storms"
+    FAULT_BATCH_REORDERS = "fault_batch_reorders"
+    LINK_DEGRADATIONS = "link_degradations"
+    PRESSURE_SPIKES = "pressure_spikes"
+    RECLAIMED_RESERVED_FRAMES = "reclaimed_reserved_frames"
+    INVARIANT_CHECKS = "invariant_checks"
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}

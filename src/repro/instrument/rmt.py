@@ -114,6 +114,13 @@ class RmtClassifier:
         self._finalized = True
 
     @property
+    def pending_bytes(self) -> int:
+        """Bytes of tracked transfers not yet resolved useful/redundant."""
+        return sum(
+            t.nbytes for chain in self._pending.values() for t in chain
+        )
+
+    @property
     def classified_bytes(self) -> int:
         return self.useful_bytes + self.redundant_bytes
 

@@ -56,6 +56,11 @@ class TrafficRecorder:
         }
         self._by_reason: Dict[TransferReason, int] = {r: 0 for r in TransferReason}
         self.transfer_count = 0
+        #: Bytes moved by block-attributed transfers (``num_blocks > 0``),
+        #: i.e. exactly the transfers the RMT classifier also tracks.
+        #: The conservation invariant ties the two tallies together:
+        #: ``block_bytes == rmt.classified_bytes + rmt.pending_bytes``.
+        self.block_bytes = 0
 
     def record(
         self,
@@ -73,6 +78,8 @@ class TrafficRecorder:
         self._by_direction[direction] += nbytes
         self._by_reason[reason] += nbytes
         self.transfer_count += 1
+        if num_blocks > 0:
+            self.block_bytes += nbytes
         if self._keep_records:
             self.records.append(rec)
         return rec
@@ -112,3 +119,4 @@ class TrafficRecorder:
         for r in self._by_reason:
             self._by_reason[r] = 0
         self.transfer_count = 0
+        self.block_bytes = 0

@@ -62,12 +62,73 @@ class Link:
         self.peak_bandwidth = peak_bandwidth
         self.half_size = half_size
         self.latency = latency
+        #: Multiplier on sustained bandwidth while the link is degraded
+        #: (thermal throttling, lane downtraining, congested switch).
+        #: 1.0 is healthy; the chaos injector lowers and later restores it.
+        self.degradation_factor = 1.0
+        #: Transient extra per-command latency (retimer retraining, replay
+        #: buffers) added on top of :attr:`latency` while degraded.
+        self.extra_latency = 0.0
+        # Armed transient transfer faults: each makes exactly one future
+        # DMA command fail mid-flight and be retried by the migration
+        # engine's recovery path.
+        self._armed_faults = 0
+        #: When set, no single DMA command consumes more than this many
+        #: armed faults; the surplus carries over to later commands.  A
+        #: fault injector sets this below the migration engine's retry
+        #: budget so that faults armed *during* a command's retry backoff
+        #: can never push that command past the budget — chaos exercises
+        #: the retry path without ever failing a transfer outright.
+        #: ``None`` (the default) leaves consumption unbounded.
+        self.fault_consumption_limit: Optional[int] = None
+
+    def degrade(self, factor: float, extra_latency: float = 0.0) -> None:
+        """Enter a degraded service state.
+
+        ``factor`` scales sustained bandwidth (0 < factor <= 1) and
+        ``extra_latency`` is added to every command until :meth:`restore`.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1]: {factor}")
+        if extra_latency < 0:
+            raise ValueError(f"negative extra latency: {extra_latency}")
+        self.degradation_factor = factor
+        self.extra_latency = extra_latency
+
+    def restore(self) -> None:
+        """Return to full-rate service (undo :meth:`degrade`)."""
+        self.degradation_factor = 1.0
+        self.extra_latency = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_factor != 1.0 or self.extra_latency != 0.0
+
+    def inject_transfer_fault(self, count: int = 1) -> None:
+        """Arm ``count`` transient faults: the next ``count`` DMA commands
+        each fail once and must be retried by the caller."""
+        if count < 0:
+            raise ValueError(f"negative fault count: {count}")
+        self._armed_faults += count
+
+    def consume_transfer_fault(self) -> bool:
+        """Consume one armed fault if any; the migration engine polls this
+        once per transfer attempt."""
+        if self._armed_faults > 0:
+            self._armed_faults -= 1
+            return True
+        return False
+
+    @property
+    def armed_faults(self) -> int:
+        return self._armed_faults
 
     def effective_bandwidth(self, chunk: int) -> float:
         """Sustained bytes/second when transferring in ``chunk``-byte pieces."""
         if chunk <= 0:
             raise ValueError(f"chunk must be positive, got {chunk}")
-        return self.peak_bandwidth * chunk / (chunk + self.half_size)
+        bandwidth = self.peak_bandwidth * chunk / (chunk + self.half_size)
+        return bandwidth * self.degradation_factor
 
     def transfer_time(self, nbytes: int, chunk: Optional[int] = None) -> float:
         """Seconds to move ``nbytes`` as one command of ``chunk``-sized pieces.
@@ -81,7 +142,11 @@ class Link:
             return 0.0
         if chunk is None:
             chunk = min(nbytes, BIG_PAGE) if nbytes < BIG_PAGE else BIG_PAGE
-        return self.latency + nbytes / self.effective_bandwidth(chunk)
+        return (
+            self.latency
+            + self.extra_latency
+            + nbytes / self.effective_bandwidth(chunk)
+        )
 
     def measured_throughput(self, nbytes: int, chunk: Optional[int] = None) -> float:
         """End-to-end bytes/second including latency — what Figure 4 plots."""

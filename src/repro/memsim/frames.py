@@ -64,6 +64,11 @@ class FrameAllocator:
         self._free = self.capacity_frames
         self._next_index = itertools.count()
         self._allocated_frames = 0
+        self.retired_frames = 0
+        #: Frames currently held by :meth:`reserve` (the oversubscription
+        #: occupant / co-tenant allocations), distinguishable from ECC
+        #: retirements so reservations can be audited and given back.
+        self.reserved_frames = 0
 
     @property
     def free_frames(self) -> int:
@@ -127,6 +132,30 @@ class FrameAllocator:
         self._free -= nframes
         self.capacity_frames -= nframes
         self.capacity_bytes -= nframes * BIG_PAGE
+        self.reserved_frames += nframes
+
+    def retire(self, nframes: int = 1) -> None:
+        """Permanently remove ``nframes`` free frames from the pool.
+
+        Models ECC page retirement: a frame that produced uncorrectable
+        errors is taken out of service for the remainder of the run.  The
+        caller (the UVM driver) must first vacate the frame — migrate or
+        reclaim whatever block it backs and :meth:`free` it — so only
+        *free* frames can be retired here.  Unlike :meth:`reserve` there
+        is no undo, and retirements are tracked separately so inspection
+        can distinguish ECC loss from an oversubscription occupant.
+        """
+        if nframes < 0:
+            raise ValueError(f"negative retirement: {nframes}")
+        if nframes > self._free:
+            raise OutOfMemoryError(
+                f"{self.owner}: cannot retire {nframes} frames, only "
+                f"{self._free} free"
+            )
+        self._free -= nframes
+        self.capacity_frames -= nframes
+        self.capacity_bytes -= nframes * BIG_PAGE
+        self.retired_frames += nframes
 
     def unreserve(self, nframes: int) -> None:
         """Return ``nframes`` previously reserved frames to the pool.
@@ -135,6 +164,12 @@ class FrameAllocator:
         """
         if nframes < 0:
             raise ValueError(f"negative unreservation: {nframes}")
+        if nframes > self.reserved_frames:
+            raise SimulationError(
+                f"{self.owner}: unreserve of {nframes} frames exceeds the "
+                f"{self.reserved_frames} currently reserved"
+            )
+        self.reserved_frames -= nframes
         self._free += nframes
         self.capacity_frames += nframes
         self.capacity_bytes += nframes * BIG_PAGE

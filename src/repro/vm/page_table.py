@@ -87,6 +87,14 @@ class PageTable:
     def mapped_blocks(self) -> int:
         return len(self._mapped)
 
+    def mapped_indices(self) -> "frozenset[int]":
+        """Immutable snapshot of every mapped block index.
+
+        The public accessor behind the driver inspection API; callers
+        must never mutate ``_mapped`` directly.
+        """
+        return frozenset(self._mapped)
+
     def map_block(self, block_index: int) -> float:
         """Establish the 2 MiB mapping; returns the time cost in seconds."""
         mapped = self._mapped

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.cuda.device import GpuSpec
 from repro.cuda.runtime import CudaRuntime
 from repro.driver.config import UvmDriverConfig
 from repro.units import GB, MIB
+
+#: The one seed all test randomness derives from.  Fixed by default so
+#: every run sees identical data; export ``REPRO_TEST_SEED`` to probe
+#: other draws (a failure then reports which seed to reproduce with).
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "20220821"))
 
 
 def tiny_gpu(memory_mib: int = 64, name: str = "gpu0") -> GpuSpec:
@@ -36,6 +44,17 @@ def pytest_addoption(parser) -> None:
 def update_golden(request) -> bool:
     """True when the run should regenerate golden snapshots."""
     return request.config.getoption("--update-golden")
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """A seeded NumPy generator for test input data.
+
+    Keyed by :data:`TEST_SEED` plus the requesting test's node id, so
+    (a) a full run and a single-test run hand the test identical data,
+    and (b) no test's draws depend on which other tests ran before it.
+    """
+    return np.random.default_rng([TEST_SEED, *request.node.nodeid.encode()])
 
 
 @pytest.fixture

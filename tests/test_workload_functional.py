@@ -23,8 +23,7 @@ def run_with(factory, memory_mib=64):
 
 
 class TestFunctionalRadixSort:
-    def test_sorts(self):
-        rng = np.random.default_rng(7)
+    def test_sorts(self, rng):
         keys = rng.integers(0, 2**32, size=4096, dtype=np.uint32)
         runtime, result = run_with(
             lambda cuda: functional_radix_sort(cuda, keys)
@@ -43,8 +42,7 @@ class TestFunctionalRadixSort:
             runtime.run(program)
 
     @pytest.mark.parametrize("discard", [None, "eager", "lazy"])
-    def test_every_discard_mode_produces_same_result(self, discard):
-        rng = np.random.default_rng(11)
+    def test_every_discard_mode_produces_same_result(self, discard, rng):
         keys = rng.integers(0, 2**32, size=1024, dtype=np.uint32)
         runtime, result = run_with(
             lambda cuda: functional_radix_sort(cuda, keys, discard=discard)
@@ -52,9 +50,8 @@ class TestFunctionalRadixSort:
         assert np.array_equal(result, np.sort(keys))
         assert runtime.driver.oracle.corruption_count == 0
 
-    def test_oversubscribed_sort_still_correct(self):
+    def test_oversubscribed_sort_still_correct(self, rng):
         """Eviction + discard churn never corrupts the data."""
-        rng = np.random.default_rng(3)
         # 16 MiB of keys on an 8 MiB GPU: constant eviction.
         keys = rng.integers(0, 2**32, size=4 * 1024 * 1024, dtype=np.uint32)
         runtime, result = run_with(
