@@ -163,6 +163,25 @@ class ChaosInjector:
         self._driver = None
         self._env = None
 
+    def _record(self, count: int, action: str) -> None:
+        """Append to the action trail and, when tracing, mark an instant.
+
+        The trace instant shares the action's label, so a Perfetto view
+        of the ``chaos`` track reads exactly like :attr:`actions`.
+        """
+        self.actions.append((count, action))
+        driver = self._driver
+        if driver is not None:
+            tracer = driver.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "chaos",
+                    action,
+                    driver.env.now,
+                    category="chaos",
+                    args={"event_count": count},
+                )
+
     # ------------------------------------------------------------------
     # the engine monitor
     # ------------------------------------------------------------------
@@ -171,7 +190,7 @@ class ChaosInjector:
         if self._restore_link_at and count >= self._restore_link_at:
             self._restore_link_at = 0
             self._runtime.link.restore()  # type: ignore[union-attr]
-            self.actions.append((count, "link_restore"))
+            self._record(count, "link_restore")
         if self._unspike:
             still_held = []
             for due, gpu, frames in self._unspike:
@@ -179,7 +198,7 @@ class ChaosInjector:
                     self._driver.release_gpu_memory(  # type: ignore[union-attr]
                         gpu, frames * BIG_PAGE
                     )
-                    self.actions.append((count, f"unspike:{gpu}:{frames}"))
+                    self._record(count, f"unspike:{gpu}:{frames}")
                 else:
                     still_held.append((due, gpu, frames))
             self._unspike = still_held
@@ -193,12 +212,12 @@ class ChaosInjector:
             retries = self._driver.migration.max_retries  # type: ignore[union-attr]
             if link.armed_faults < max(1, retries - 1):
                 link.inject_transfer_fault()
-                self.actions.append((count, "transfer_fault"))
+                self._record(count, "transfer_fault")
         if self._ecc.due(count):
             self._fire_ecc(count)
         if self._storm.due(count):
             self._storm_armed = True
-            self.actions.append((count, "storm_armed"))
+            self._record(count, "storm_armed")
         if self._spike.due(count):
             self._fire_spike(count)
 
@@ -214,7 +233,7 @@ class ChaosInjector:
         driver = self._driver
         if driver is not None:
             driver.counters.bump(Counters.LINK_DEGRADATIONS)
-        self.actions.append((count, f"link_degrade:{factor:.3f}"))
+        self._record(count, f"link_degrade:{factor:.3f}")
 
     def _pick_gpu(self) -> Optional[str]:
         names = self._driver.gpu_names()  # type: ignore[union-attr]
@@ -245,7 +264,7 @@ class ChaosInjector:
             return
         self._ecc_budget -= 1
         self._env.process(driver.retire_frames(gpu, 1))  # type: ignore[union-attr]
-        self.actions.append((count, f"ecc_retire:{gpu}"))
+        self._record(count, f"ecc_retire:{gpu}")
 
     def _fire_spike(self, count: int) -> None:
         driver = self._driver
@@ -266,7 +285,7 @@ class ChaosInjector:
         # subscribed GPU.  The release is scheduled once the reservation
         # process reports how many frames it actually got.
         self._env.process(self._spike_process(gpu, frames))  # type: ignore[union-attr]
-        self.actions.append((count, f"spike:{gpu}:{frames}"))
+        self._record(count, f"spike:{gpu}:{frames}")
 
     def _spike_process(self, gpu: str, frames: int):
         driver = self._driver
@@ -347,5 +366,5 @@ class ChaosInjector:
             )
         env = self._env
         if env is not None:
-            self.actions.append((env.event_count, f"abort:{kernel.name}"))
+            self._record(env.event_count, f"abort:{kernel.name}")
         return True

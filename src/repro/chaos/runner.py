@@ -30,6 +30,7 @@ from repro.chaos.workloads import functional_fir, functional_mlp
 from repro.cuda.device import GpuSpec
 from repro.cuda.runtime import CudaRuntime
 from repro.driver.config import UvmDriverConfig
+from repro.instrument.trace import TraceConfig, Tracer
 from repro.units import GB, MIB
 from repro.workloads.functional import functional_hash_join, functional_radix_sort
 
@@ -178,6 +179,16 @@ class ChaosWorkloadResult:
     fault_free_seconds: float
     chaos_seconds: float
     counters: Dict[str, int] = field(default_factory=dict)
+    #: EventLog entries dropped by the ring buffer during the chaos run.
+    log_dropped: int = 0
+    #: Timeline digests of the two chaos runs when tracing was requested
+    #: (empty otherwise); equality is folded into ``trace_reproducible``.
+    chaos_trace_digest: str = ""
+    repeat_trace_digest: str = ""
+    #: The first chaos run's tracer, kept for ``--trace`` export.
+    chaos_tracer: Optional[Tracer] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def ok(self) -> bool:
@@ -205,14 +216,16 @@ class ChaosRunReport:
             f"chaos suite: seed={self.seed} cadence={self.cadence} "
             f"{'PASS' if self.ok else 'FAIL'}",
             f"{'workload':<10} {'output':<8} {'trace':<8} "
-            f"{'violations':<11} {'checks':<7} {'injections':<11}",
+            f"{'violations':<11} {'checks':<7} {'injections':<11} "
+            f"{'log-drop':<8}",
         ]
         for r in self.results:
             lines.append(
                 f"{r.workload:<10} "
                 f"{'match' if r.outputs_match else 'DIFFER':<8} "
                 f"{'stable' if r.trace_reproducible else 'DRIFT':<8} "
-                f"{r.violations:<11} {r.checks:<7} {r.injected_actions:<11}"
+                f"{r.violations:<11} {r.checks:<7} {r.injected_actions:<11} "
+                f"{r.log_dropped:<8}"
             )
         return lines
 
@@ -224,9 +237,17 @@ def _run_once(
     chaos: Optional[ChaosConfig],
     cadence: int,
     strict: bool,
-) -> Tuple[bytes, str, float, OnlineValidator, int, Dict[str, int]]:
+    trace_config: Optional[TraceConfig] = None,
+) -> Tuple[
+    bytes, str, float, OnlineValidator, int, Dict[str, int],
+    Optional[Tracer], int,
+]:
     program, out, _default_mib = _build_program(name, seed)
     runtime = _make_runtime(memory_mib)
+    tracer: Optional[Tracer] = None
+    if trace_config is not None and trace_config.enabled:
+        tracer = Tracer(trace_config)
+        tracer.install(runtime)
     validator = OnlineValidator(
         runtime.driver, cadence=cadence, strict=strict
     ).install(runtime.env)
@@ -247,6 +268,8 @@ def _run_once(
         validator.uninstall()
         if injector is not None:
             injector.uninstall()
+        if tracer is not None:
+            tracer.uninstall()
     digest = trace_digest(runtime)
     actions = len(injector.actions) if injector is not None else 0
     counters = {
@@ -256,7 +279,10 @@ def _run_once(
         or name in ("kernel_aborts", "link_degradations", "pressure_spikes",
                     "invariant_checks")
     }
-    return out["bytes"], digest, elapsed, validator, actions, counters
+    return (
+        out["bytes"], digest, elapsed, validator, actions, counters,
+        tracer, runtime.driver.log.dropped,
+    )
 
 
 def run_chaos_suite(
@@ -266,12 +292,17 @@ def run_chaos_suite(
     config: Optional[ChaosConfig] = None,
     strict: bool = False,
     memory_mib: Optional[int] = None,
+    trace_config: Optional[TraceConfig] = None,
 ) -> ChaosRunReport:
     """Run the differential chaos oracle over ``workloads``.
 
     ``strict=False`` (default) records violations instead of aborting the
     simulation mid-flight, so one report covers every workload; tests use
     ``strict=True`` to fail fast.
+
+    ``trace_config`` additionally traces the two chaos runs of each
+    workload (the fault-free reference stays untraced) and folds
+    timeline-digest equality into ``trace_reproducible``.
     """
     chaos = config or ChaosConfig.default_storm(seed=seed)
     chaos.validate()
@@ -279,21 +310,30 @@ def run_chaos_suite(
     for name in workloads or CHAOS_WORKLOADS:
         _program, _out, default_mib = _build_program(name, seed)
         mib = memory_mib if memory_mib is not None else default_mib
-        free_bytes, free_digest, free_elapsed, _v, _a, _c = _run_once(
+        free_bytes, free_digest, free_elapsed, _v, _a, _c, _t, _d = _run_once(
             name, seed, mib, None, cadence, strict
         )
         (
             chaos_bytes, chaos_digest, chaos_elapsed,
-            validator, actions, counters,
-        ) = _run_once(name, seed, mib, chaos, cadence, strict)
-        _repeat_bytes, repeat_digest, _e, _v2, _a2, _c2 = _run_once(
-            name, seed, mib, chaos, cadence, strict
+            validator, actions, counters, chaos_tracer, log_dropped,
+        ) = _run_once(
+            name, seed, mib, chaos, cadence, strict, trace_config
         )
+        (
+            _repeat_bytes, repeat_digest, _e, _v2, _a2, _c2,
+            repeat_tracer, _d2,
+        ) = _run_once(
+            name, seed, mib, chaos, cadence, strict, trace_config
+        )
+        chaos_td = chaos_tracer.digest() if chaos_tracer is not None else ""
+        repeat_td = repeat_tracer.digest() if repeat_tracer is not None else ""
         report.results.append(
             ChaosWorkloadResult(
                 workload=name,
                 outputs_match=free_bytes == chaos_bytes,
-                trace_reproducible=chaos_digest == repeat_digest,
+                trace_reproducible=(
+                    chaos_digest == repeat_digest and chaos_td == repeat_td
+                ),
                 violations=len(validator.violations),
                 checks=validator.checks,
                 injected_actions=actions,
@@ -303,6 +343,10 @@ def run_chaos_suite(
                 fault_free_seconds=free_elapsed,
                 chaos_seconds=chaos_elapsed,
                 counters=counters,
+                log_dropped=log_dropped,
+                chaos_trace_digest=chaos_td,
+                repeat_trace_digest=repeat_td,
+                chaos_tracer=chaos_tracer,
             )
         )
     return report

@@ -15,6 +15,9 @@ Commands:
   runs fault-free and twice under the same chaos seed with online
   invariant validation, asserting byte-identical outputs and a
   reproducible event trace (see ``docs/VALIDATION.md``),
+- ``trace`` — run one experiment point with the simulated-time tracer
+  installed and export a Perfetto-loadable Chrome trace plus an
+  optional metrics time-series CSV (see ``docs/OBSERVABILITY.md``),
 - ``demo`` — the VectorAdd quickstart with verified results.
 
 The heavyweight regeneration of *every* table and figure lives in
@@ -26,6 +29,7 @@ through the same :mod:`repro.harness.sweep` engine.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -65,8 +69,46 @@ EXPERIMENTS = {
 }
 
 
+def _write_trace_json(path: str, payload: dict) -> None:
+    """Write a trace dict deterministically (sorted keys, compact)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
+
+
+def _execute_points(
+    points: List[SweepPoint], trace: Optional[str]
+) -> List[ExperimentResult]:
+    """Run experiment points — via the sweep engine, or individually
+    traced (merged into one multi-process trace file) when ``trace``."""
+    if trace is None:
+        report = run_sweep(points)
+        return [result for result in report.results if result is not None]
+    from repro.harness.tracerun import trace_point
+    from repro.instrument.trace import merge_chrome_traces
+
+    results: List[ExperimentResult] = []
+    traced = []
+    for point in points:
+        result, tracer = trace_point(point)
+        if result is not None:
+            results.append(result)
+        traced.append((point.label, tracer))
+    _write_trace_json(trace, merge_chrome_traces(traced))
+    print(f"wrote merged trace of {len(traced)} points to {trace}")
+    return results
+
+
+def _report_log_dropped(results: List[ExperimentResult]) -> None:
+    """Surface ring-buffer losses: a dropped entry means the retained
+    event log is a suffix, not the whole story."""
+    dropped = sum(result.log_dropped for result in results)
+    if dropped:
+        print(f"event-log ring buffer dropped {dropped} entries across runs")
+
+
 def _run_micro(
-    kind: str, scale: float, link_name: str
+    kind: str, scale: float, link_name: str, trace: Optional[str] = None
 ) -> List[ExperimentResult]:
     points = [
         SweepPoint(
@@ -76,8 +118,7 @@ def _run_micro(
         for ratio in RATIOS
         for system in MICRO_SYSTEMS
     ]
-    report = run_sweep(points)
-    results = [result for result in report.results if result is not None]
+    results = _execute_points(points, trace)
     table = ResultTable(kind, [ratio_label(r) for r in RATIOS])
     for result in results:
         table.add(result)
@@ -87,7 +128,9 @@ def _run_micro(
     return results
 
 
-def _run_dl(network: str, scale: float, link_name: str) -> List[ExperimentResult]:
+def _run_dl(
+    network: str, scale: float, link_name: str, trace: Optional[str] = None
+) -> List[ExperimentResult]:
     batches = DL_BATCH_GRID[network]
     points = [
         SweepPoint(
@@ -97,8 +140,7 @@ def _run_dl(network: str, scale: float, link_name: str) -> List[ExperimentResult
         for batch in batches
         for system in MICRO_SYSTEMS
     ]
-    report = run_sweep(points)
-    results = [result for result in report.results if result is not None]
+    results = _execute_points(points, trace)
     table = ResultTable(DL_DISPLAY_NAMES[network], [f"bs={b}" for b in batches])
     for result in results:
         table.add(result)
@@ -121,9 +163,10 @@ def cmd_run(args) -> int:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
     if name.startswith("dl:"):
-        results = _run_dl(name.split(":", 1)[1], args.scale, args.link)
+        results = _run_dl(name.split(":", 1)[1], args.scale, args.link, args.trace)
     else:
-        results = _run_micro(name, args.scale, args.link)
+        results = _run_micro(name, args.scale, args.link, args.trace)
+    _report_log_dropped(results)
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(results_to_csv(results))
@@ -206,6 +249,9 @@ def cmd_sweep(args) -> int:
     print(
         f"\n{report.simulated} simulated, {report.cached} cached, "
         f"{report.wall_seconds:.2f} s wall"
+    )
+    _report_log_dropped(
+        [result for result in report.results if result is not None]
     )
     if args.csv:
         rows = [result for result in report.results if result is not None]
@@ -308,12 +354,18 @@ def cmd_chaos(args) -> int:
     except (ConfigurationError, TypeError, ValueError) as exc:
         print(f"bad chaos spec: {exc}", file=sys.stderr)
         return 2
+    trace_config = None
+    if args.trace:
+        from repro.instrument.trace import TraceConfig
+
+        trace_config = TraceConfig()
     report = run_chaos_suite(
         seed=args.seed,
         workloads=workloads,
         cadence=args.cadence,
         config=config,
         strict=args.strict,
+        trace_config=trace_config,
     )
     for line in report.summary_lines():
         print(line)
@@ -321,7 +373,111 @@ def cmd_chaos(args) -> int:
         for result in report.results:
             active = {k: v for k, v in sorted(result.counters.items()) if v}
             print(f"{result.workload}: {active}")
+    if args.trace:
+        from repro.instrument.trace import merge_chrome_traces
+
+        traced = [
+            (result.workload, result.chaos_tracer)
+            for result in report.results
+            if result.chaos_tracer is not None
+        ]
+        _write_trace_json(args.trace, merge_chrome_traces(traced))
+        print(f"wrote merged chaos trace of {len(traced)} workloads to {args.trace}")
     return 0 if report.ok else 1
+
+
+#: ``trace`` accepts the paper's figure names as experiment aliases.
+TRACE_ALIASES = {f"fig5-{net}": f"dl:{net}" for net in DL_BATCH_GRID}
+
+
+def cmd_trace(args) -> int:
+    """Trace one experiment point; see docs/OBSERVABILITY.md."""
+    from repro.instrument.report import phase_breakdown_table
+    from repro.instrument.trace import TraceConfig, validate_chrome_trace
+
+    if args.validate:
+        try:
+            data = json.loads(pathlib.Path(args.validate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.validate}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_chrome_trace(data)
+        if problems:
+            for problem in problems[:25]:
+                print(problem, file=sys.stderr)
+            print(
+                f"{args.validate}: INVALID ({len(problems)} problems)",
+                file=sys.stderr,
+            )
+            return 1
+        count = len(data.get("traceEvents", []))
+        print(f"{args.validate}: valid Chrome trace ({count} events)")
+        return 0
+    if not args.experiment:
+        print("trace needs an experiment name (or --validate FILE)", file=sys.stderr)
+        return 2
+    name = TRACE_ALIASES.get(args.experiment, args.experiment)
+    if name not in EXPERIMENTS:
+        known = ", ".join([*EXPERIMENTS, *TRACE_ALIASES])
+        print(f"unknown experiment {args.experiment!r}; have {known}", file=sys.stderr)
+        return 2
+    from repro.harness.tracerun import trace_point
+
+    try:
+        system = System(args.system)
+        if system is System.NO_UVM:
+            raise ConfigurationError("No-UVM has no driver to trace")
+        if name.startswith("dl:"):
+            network = name.split(":", 1)[1]
+            # Default to the grid's most oversubscribed batch: the
+            # richest timeline (faults, evictions, discards, revivals).
+            batch = args.batch or DL_BATCH_GRID[network][-1]
+            point = SweepPoint(
+                workload=name, system=system.value, link=args.link,
+                batch_size=batch, scale=args.scale,
+            )
+        else:
+            point = SweepPoint(
+                workload=name, system=system.value, link=args.link,
+                ratio=args.ratio, scale=args.scale,
+            )
+        config = TraceConfig(metrics_cadence=args.cadence)
+        result, tracer = trace_point(point, config, via_fork=args.fork)
+    except (ConfigurationError, ValueError) as exc:
+        print(f"bad trace spec: {exc}", file=sys.stderr)
+        return 2
+    # Write both artifacts before any summary printing, so a closed
+    # stdout (e.g. piping into head) can never truncate the outputs.
+    tracer.write(args.out)
+    if args.metrics_csv:
+        with open(args.metrics_csv, "w", encoding="utf-8") as handle:
+            handle.write(tracer.metrics.to_csv())
+    spans = sum(1 for record in tracer.events if record[0] == "X")
+    instants = len(tracer.events) - spans
+    print(
+        f"wrote {args.out}: {spans} spans, {instants} instants, "
+        f"{tracer.dropped} dropped trace records"
+    )
+    print(f"trace_digest: {tracer.digest()}")
+    if result is None:
+        print(f"{point.label}: OOM — configuration does not fit")
+    else:
+        print(
+            f"{point.label}: {result.elapsed_seconds:.6f} s simulated, "
+            f"{result.traffic_gb:.3f} GB traffic"
+        )
+        _report_log_dropped([result])
+        print()
+        print(
+            phase_breakdown_table(
+                tracer.phase_seconds(),
+                result.elapsed_seconds,
+                title="phase breakdown (simulated seconds; tracks overlap)",
+            )
+        )
+    if args.metrics_csv:
+        print(f"wrote metrics time-series to {args.metrics_csv}")
+    return 0
 
 
 def cmd_demo(_args) -> int:
@@ -374,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--link", default="gen4", choices=("gen3", "gen4"), help="PCIe generation"
     )
     run.add_argument("--csv", help="also write raw rows to this CSV file")
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="trace every point and write one merged Chrome trace "
+        "(bypasses the sweep cache)",
+    )
     run.set_defaults(func=cmd_run)
 
     reproduce = sub.add_parser(
@@ -507,7 +669,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print each workload's nonzero chaos counters",
     )
+    chaos.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also trace the chaos runs and write one merged Chrome trace",
+    )
     chaos.set_defaults(func=cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment point with the simulated-time tracer "
+        "and export a Perfetto-loadable Chrome trace",
+    )
+    trace.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment name (see 'list'; fig5-<net> aliases dl:<net>)",
+    )
+    trace.add_argument(
+        "--system",
+        default=System.UVM_DISCARD.value,
+        help="system under trace (default UvmDiscard)",
+    )
+    trace.add_argument(
+        "--ratio",
+        type=float,
+        default=2.0,
+        help="oversubscription ratio for micro workloads (default 2.0)",
+    )
+    trace.add_argument(
+        "--batch",
+        type=int,
+        help="DL batch size (default: the network grid's largest, i.e. "
+        "most oversubscribed, batch)",
+    )
+    trace.add_argument("--scale", type=float, default=0.125)
+    trace.add_argument(
+        "--link", default="gen4", choices=("gen3", "gen4")
+    )
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    trace.add_argument(
+        "--metrics-csv",
+        metavar="PATH",
+        help="also dump the sampled metrics time series as CSV",
+    )
+    trace.add_argument(
+        "--cadence",
+        type=int,
+        default=256,
+        help="engine events between metric samples; 0 disables (default 256)",
+    )
+    trace.add_argument(
+        "--fork",
+        action="store_true",
+        help="run the measured body on a snapshot fork of the setup "
+        "prefix (the trace must be identical to a cold run)",
+    )
+    trace.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing trace file instead of running",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     sub.add_parser("demo", help="run the VectorAdd demo").set_defaults(
         func=cmd_demo

@@ -102,6 +102,8 @@ class DiscardManager(abc.ABC):
         # idempotent re-discard wait-free.
         targets = [b for b in blocks if not b.discarded]
         yield from self.driver.lock_blocks(targets)
+        tracer = self.driver.tracer
+        started = self.driver.env.now if tracer.enabled else 0.0
         try:
             cost = self.driver.config.discard_command_overhead
             discarded = 0
@@ -118,6 +120,15 @@ class DiscardManager(abc.ABC):
                 yield self.driver.env.timeout(cost)
         finally:
             self.driver.unlock_blocks(targets)
+        if tracer.enabled:
+            tracer.span(
+                "driver/discard",
+                self.name,
+                started,
+                self.driver.env.now,
+                category="discard",
+                args={"requested": len(blocks), "discarded": discarded},
+            )
         return DiscardOutcome(
             requested_blocks=len(blocks),
             discarded_blocks=discarded,

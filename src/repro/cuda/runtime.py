@@ -53,6 +53,7 @@ from repro.driver.driver import CPU, UvmDriver
 from repro.engine.core import Environment, Process
 from repro.errors import ConfigurationError, SimulationError
 from repro.gpu.executor import GpuExecutor
+from repro.instrument.trace import NULL_TRACER
 from repro.instrument.traffic import TransferDirection, TransferReason
 from repro.interconnect.link import Link
 from repro.interconnect.pcie import pcie_gen4
@@ -103,6 +104,9 @@ class CudaRuntime:
         self.costs = ApiCostModel()
         self.default_stream = CudaStream(self.env, "stream0")
         self._streams: List[CudaStream] = [self.default_stream]
+        #: Simulated-time tracer; held on the runtime so streams created
+        #: after :meth:`Tracer.install` inherit it.
+        self.tracer = NULL_TRACER
         self.discard_managers: Dict[str, DiscardManager] = {
             "eager": UvmDiscard(self.driver),
             "lazy": UvmDiscardLazy(self.driver),
@@ -147,8 +151,13 @@ class CudaRuntime:
     def create_stream(self, name: Optional[str] = None) -> CudaStream:
         """`cudaStreamCreate`."""
         stream = CudaStream(self.env, name or f"stream{len(self._streams)}")
+        stream.tracer = self.tracer
         self._streams.append(stream)
         return stream
+
+    def streams(self) -> List[CudaStream]:
+        """All streams created so far (the default stream first)."""
+        return list(self._streams)
 
     def _stream(self, stream: Optional[CudaStream]) -> CudaStream:
         return stream if stream is not None else self.default_stream
@@ -235,7 +244,8 @@ class CudaRuntime:
             raise ConfigurationError(f"unknown prefetch destination {dest!r}")
         blocks = buffer.blocks_in(rng)
         return self._stream(stream).enqueue(
-            lambda: self.driver.prefetch(blocks, dest)
+            lambda: self.driver.prefetch(blocks, dest),
+            label=f"prefetch:{buffer.name}",
         )
 
     def discard_async(
@@ -262,7 +272,8 @@ class CudaRuntime:
         target = rng if rng is not None else buffer.va_range
         blocks = list(buffer.blocks)
         return self._stream(stream).enqueue(
-            lambda: manager.discard_range(blocks, target)
+            lambda: manager.discard_range(blocks, target),
+            label=f"discard_{mode}:{buffer.name}",
         )
 
     def launch(
@@ -278,7 +289,7 @@ class CudaRuntime:
         except KeyError:
             raise ConfigurationError(f"unknown device {device!r}") from None
         return self._stream(stream).enqueue(
-            lambda: executor.run_kernel(kernel)
+            lambda: executor.run_kernel(kernel), label=kernel.name
         )
 
     def launch_raw(
@@ -303,7 +314,7 @@ class CudaRuntime:
             finally:
                 self.executor.sm_engine.release(request)
 
-        return self._stream(stream).enqueue(body)
+        return self._stream(stream).enqueue(body, label=name)
 
     # ------------------------------------------------------------------
     # explicit (No-UVM) memory management
@@ -343,7 +354,8 @@ class CudaRuntime:
         return self._stream(stream).enqueue(
             lambda: self.driver.migration.raw_transfer(
                 nbytes, direction, reason, engines
-            )
+            ),
+            label=f"memcpy_{direction.value}",
         )
 
     # ------------------------------------------------------------------

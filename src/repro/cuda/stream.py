@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.engine.core import Environment, Event, Process
+from repro.instrument.trace import NULL_TRACER
 
 
 class CudaEvent:
@@ -53,14 +54,38 @@ class CudaStream:
         self.name = name
         self._tail: Optional[Process] = None
         self.ops_enqueued = 0
+        #: Simulated-time tracer; labeled operations become spans on a
+        #: per-stream track when one is installed.
+        self.tracer = NULL_TRACER
 
-    def enqueue(self, op_factory: Callable[[], Generator]) -> Process:
-        """Append an async operation; returns its process (an Event)."""
+    def enqueue(
+        self,
+        op_factory: Callable[[], Generator],
+        label: Optional[str] = None,
+    ) -> Process:
+        """Append an async operation; returns its process (an Event).
+
+        ``label``, when given, names the operation on this stream's trace
+        track (the span covers execution, not time spent queued behind
+        the stream's predecessor).
+        """
         predecessor = self._tail
 
         def runner() -> Generator:
             if predecessor is not None:
                 yield predecessor
+            tracer = self.tracer
+            if label is not None and tracer.enabled:
+                started = self.env.now
+                result = yield from op_factory()
+                tracer.span(
+                    f"stream/{self.name}",
+                    label,
+                    started,
+                    self.env.now,
+                    category="stream",
+                )
+                return result
             result = yield from op_factory()
             return result
 

@@ -35,6 +35,7 @@ from repro.errors import (
 from repro.instrument.counters import Counters
 from repro.instrument.eventlog import EventLog
 from repro.instrument.rmt import RmtClassifier
+from repro.instrument.trace import NULL_TRACER
 from repro.instrument.traffic import TrafficRecorder, TransferDirection, TransferReason
 from repro.interconnect.link import Link
 from repro.memsim.frames import Frame, FrameAllocator
@@ -113,6 +114,11 @@ class UvmDriver:
         #: through it so injected storms and reorderings perturb the
         #: servicing schedule.
         self.chaos = None
+        #: Simulated-time tracer (:class:`repro.instrument.trace.Tracer`).
+        #: Defaults to the shared no-op singleton; every span site binds
+        #: it locally and tests ``tracer.enabled`` before any bookkeeping,
+        #: so the disabled configuration costs one attribute load.
+        self.tracer = NULL_TRACER
         # CPU PTE operations are local and cheap compared to GPU ones.
         self.cpu_page_table = PageTable(
             CPU,
@@ -275,7 +281,39 @@ class UvmDriver:
             blocks=blocks,
             inflight=frozenset(self._inflight),
             cpu_mapped=self.cpu_page_table.mapped_indices(),
+            event_log_entries=len(self.log),
+            event_log_dropped=self.log.dropped,
         )
+
+    def sample_occupancy(self) -> List[tuple]:
+        """Lightweight per-GPU occupancy tuples for the metrics sampler.
+
+        Returns ``(name, free_frames, used_frames, unused_queue,
+        discarded_queue, used_queue)`` per GPU.  Unlike :meth:`inspect`
+        this allocates no per-block views, so it is cheap enough to call
+        every few engine events.
+        """
+        return [
+            (
+                name,
+                g.allocator.free_frames,
+                g.allocator.used_frames,
+                len(g.queues.unused),
+                len(g.queues.discarded),
+                len(g.queues.used),
+            )
+            for name, g in self._gpus.items()
+        ]
+
+    def sample_engines(self) -> List[tuple]:
+        """Per-copy-engine ``(label, in_use, queue_length)`` tuples."""
+        out = []
+        for name, g in self._gpus.items():
+            for engine in (g.engines.h2d, g.engines.d2h):
+                out.append(
+                    (f"{name}/{engine.name}", engine.in_use, engine.queue_length)
+                )
+        return out
 
     def gpu_page_table(self, name: str) -> PageTable:
         return self._gpu(name).page_table
@@ -411,6 +449,14 @@ class UvmDriver:
             if self.log.enabled:
                 self.log.log(
                     self.env.now, "ecc", "retired one frame on %s", g.name
+                )
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    f"{g.name}/evict",
+                    "frame_retired",
+                    self.env.now,
+                    category="chaos",
                 )
 
     def register_blocks(self, blocks: Iterable[VaBlock]) -> None:
@@ -568,6 +614,8 @@ class UvmDriver:
 
     def _reclaim_discarded(self, g: _GpuState, block: VaBlock) -> Generator:
         """Reclaim a discarded block's frame without any transfer (§5.3/§5.6)."""
+        tracer = self.tracer
+        started = self.env.now if tracer.enabled else 0.0
         cost = 0.0
         if g.page_table.is_mapped(block.index):
             # Lazy discard left the mapping in place; destroy it now
@@ -601,9 +649,22 @@ class UvmDriver:
             )
         if cost:
             yield self.env.timeout(cost)
+        if tracer.enabled:
+            now = self.env.now
+            tracer.span(
+                f"{g.name}/evict",
+                "reclaim_discarded",
+                started,
+                now,
+                category="eviction",
+                args={"block": block.index, "transfer_free": True},
+            )
+            tracer.observe("eviction_seconds", now - started)
 
     def _evict_used(self, g: _GpuState, block: VaBlock) -> Generator:
         """Swap the LRU used block out to host memory (a real transfer)."""
+        tracer = self.tracer
+        started = self.env.now if tracer.enabled else 0.0
         cost = g.page_table.unmap_block(block.index)
         if block.transfer_needed_for_eviction:
             yield self.env.timeout(cost)
@@ -623,6 +684,17 @@ class UvmDriver:
         self.counters.bump(Counters.EVICTED_BLOCKS)
         if self.log.enabled:
             self.log.log(self.env.now, "evict", "swapped out block %d", block.index)
+        if tracer.enabled:
+            now = self.env.now
+            tracer.span(
+                f"{g.name}/evict",
+                "evict_used",
+                started,
+                now,
+                category="eviction",
+                args={"block": block.index, "transfer_free": False},
+            )
+            tracer.observe("eviction_seconds", now - started)
 
     # ------------------------------------------------------------------
     # mapping helpers
@@ -780,6 +852,7 @@ class UvmDriver:
         via_prefetch: bool,
     ) -> Generator:
         g = self._gpu(gpu)
+        tracer = self.tracer
         recency_only = 0
         revive_cost = 0.0
         zero_blocks: List[VaBlock] = []
@@ -803,6 +876,14 @@ class UvmDriver:
                 block.populated = True
                 self._touch_used(g, block)
                 self.counters.bump(Counters.DISCARD_REVIVALS)
+                if tracer.enabled:
+                    tracer.instant(
+                        f"{g.name}/discard",
+                        "revive_eager",
+                        self.env.now,
+                        category="revival",
+                        args={"block": block.index},
+                    )
             elif plan is _Plan.REVIVE_LAZY:
                 g.queues.discarded.remove(block)
                 revive_cost += self.config.lazy_dirty_clear_per_block
@@ -810,6 +891,14 @@ class UvmDriver:
                 block.populated = True
                 self._touch_used(g, block)
                 self.counters.bump(Counters.DISCARD_REVIVALS)
+                if tracer.enabled:
+                    tracer.instant(
+                        f"{g.name}/discard",
+                        "revive_lazy",
+                        self.env.now,
+                        category="revival",
+                        args={"block": block.index},
+                    )
             elif plan is _Plan.ZERO:
                 # A dead block on a peer GPU is reclaimed there first.
                 revive_cost += self._detach_gpu_residency(block)
@@ -853,6 +942,14 @@ class UvmDriver:
                     self.log.log(
                         self.env.now, "zero",
                         "skipped H2D transfer for discarded block %d", block.index,
+                    )
+                if was_discarded and tracer.enabled:
+                    tracer.instant(
+                        f"{g.name}/discard",
+                        "zero_fill_saved_h2d",
+                        self.env.now,
+                        category="discard",
+                        args={"block": block.index},
                     )
             yield self.env.timeout(cost)
 
@@ -990,6 +1087,8 @@ class UvmDriver:
         blocks = list(blocks)
         if not blocks:
             return
+        tracer = self.tracer
+        started = self.env.now if tracer.enabled else 0.0
         chaos = self.chaos
         if chaos is not None:
             blocks = yield from chaos.on_fault_batch(self, gpu, blocks)
@@ -1002,6 +1101,18 @@ class UvmDriver:
         if self.config.auto_prefetch_enabled:
             self._maybe_auto_prefetch(gpu, blocks)
         yield from self.make_resident_gpu(gpu, blocks, reason, via_prefetch=False)
+        if tracer.enabled:
+            now = self.env.now
+            tracer.span(
+                f"{gpu}/faults",
+                "fault_batch",
+                started,
+                now,
+                category="fault",
+                args={"blocks": len(blocks)},
+            )
+            tracer.observe("fault_batch_seconds", now - started)
+            tracer.observe("fault_batch_blocks", len(blocks))
 
     def _maybe_auto_prefetch(self, gpu: str, faulted: Sequence[VaBlock]) -> None:
         """Stream detection + prefetch-ahead (extension, [21, 22]).
@@ -1141,6 +1252,8 @@ class UvmDriver:
         blocks = list(blocks)
         if not blocks:
             return
+        tracer = self.tracer
+        started = self.env.now if tracer.enabled else 0.0
         yield self.env.timeout(
             self.config.prefetch_command_overhead
             + len(blocks) * self.config.prefetch_per_block
@@ -1154,6 +1267,16 @@ class UvmDriver:
             yield from self.make_resident_gpu(
                 destination, blocks, TransferReason.PREFETCH, via_prefetch=True
             )
+        if tracer.enabled:
+            tracer.span(
+                f"{destination}/prefetch",
+                "prefetch",
+                started,
+                self.env.now,
+                category="prefetch",
+                args={"blocks": len(blocks)},
+            )
+            tracer.observe("prefetch_blocks", len(blocks))
 
     # ------------------------------------------------------------------
     # discard state transitions (driven by repro.core managers)

@@ -18,6 +18,7 @@ from repro.engine.resources import Resource
 from repro.errors import TransferError
 from repro.instrument.counters import Counters
 from repro.instrument.rmt import RmtClassifier
+from repro.instrument.trace import NULL_TRACER
 from repro.instrument.traffic import TrafficRecorder, TransferDirection, TransferReason
 from repro.interconnect.link import Link
 from repro.units import BIG_PAGE, SMALL_PAGE, us
@@ -50,8 +51,8 @@ class CopyEngines:
     """The two DMA engines (one per direction) of a single GPU."""
 
     def __init__(self, env: Environment) -> None:
-        self.h2d = Resource(env, capacity=1)
-        self.d2h = Resource(env, capacity=1)
+        self.h2d = Resource(env, capacity=1, name="h2d")
+        self.d2h = Resource(env, capacity=1, name="d2h")
 
     def engine_for(self, direction: TransferDirection) -> Resource:
         if direction is TransferDirection.HOST_TO_DEVICE:
@@ -89,6 +90,9 @@ class MigrationEngine:
         #: host-side engine-arbitration events changes.
         self.coalesce = coalesce
         self.counters = counters
+        #: Simulated-time tracer; the shared no-op singleton when tracing
+        #: is off (see :mod:`repro.instrument.trace`).
+        self.tracer = NULL_TRACER
         #: Retry budget and exponential-backoff base for injected
         #: transient transfer faults; the driver sets both from its
         #: config (``transfer_max_retries`` / ``transfer_retry_backoff``).
@@ -131,6 +135,25 @@ class MigrationEngine:
             yield self.env.timeout(self.retry_backoff * attempts)
         yield self.env.timeout(link.transfer_time(nbytes, chunk=chunk))
 
+    def _trace_command(
+        self,
+        track: str,
+        name: str,
+        started: float,
+        span_bytes: int,
+        first_block: Optional[int],
+        num_blocks: int,
+    ) -> None:
+        """Record one DMA command as a migration span (tracer enabled)."""
+        tracer = self.tracer
+        args = {"bytes": span_bytes, "blocks": num_blocks}
+        if first_block is not None:
+            args["first_block"] = first_block
+        tracer.span(
+            track, name, started, self.env.now, category="migration", args=args
+        )
+        tracer.observe("transfer_span_bytes", span_bytes)
+
     def transfer_blocks(
         self,
         blocks: Sequence[VaBlock],
@@ -157,13 +180,24 @@ class MigrationEngine:
             env = self.env
             record = self.traffic.record
             on_transfer = self.rmt.on_transfer
+            tracer = self.tracer
             try:
                 for span in coalesce_spans(blocks):
                     span_bytes = sum(b.used_bytes for b in span)
                     chunk = (
                         SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
                     )
+                    started = env.now if tracer.enabled else 0.0
                     yield from self._timed_command(self.link, span_bytes, chunk)
+                    if tracer.enabled:
+                        self._trace_command(
+                            f"link/{direction.value}",
+                            reason.value,
+                            started,
+                            span_bytes,
+                            span[0].index,
+                            len(span),
+                        )
                     record(
                         env.now,
                         direction,
@@ -185,10 +219,21 @@ class MigrationEngine:
             chunk = SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
             request = engine.request()
             yield request
+            tracer = self.tracer
+            started = self.env.now if tracer.enabled else 0.0
             try:
                 yield from self._timed_command(self.link, span_bytes, chunk)
             finally:
                 engine.release(request)
+            if tracer.enabled:
+                self._trace_command(
+                    f"link/{direction.value}",
+                    reason.value,
+                    started,
+                    span_bytes,
+                    span[0].index,
+                    len(span),
+                )
             self.traffic.record(
                 self.env.now,
                 direction,
@@ -225,10 +270,21 @@ class MigrationEngine:
                 in_request = destination_engines.h2d.request()
                 yield in_request
             env = self.env
+            tracer = self.tracer
             try:
                 for span in coalesce_spans(blocks):
                     span_bytes = sum(b.used_bytes for b in span)
+                    started = env.now if tracer.enabled else 0.0
                     yield from self._timed_command(p2p_link, span_bytes, BIG_PAGE)
+                    if tracer.enabled:
+                        self._trace_command(
+                            "link/p2p",
+                            TransferReason.FAULT_MIGRATION.value,
+                            started,
+                            span_bytes,
+                            span[0].index,
+                            len(span),
+                        )
                     self.traffic.record(
                         env.now,
                         TransferDirection.DEVICE_TO_DEVICE,
@@ -254,11 +310,22 @@ class MigrationEngine:
             yield out_request
             in_request = destination_engines.h2d.request()
             yield in_request
+            tracer = self.tracer
+            started = self.env.now if tracer.enabled else 0.0
             try:
                 yield from self._timed_command(p2p_link, span_bytes, BIG_PAGE)
             finally:
                 source_engines.d2h.release(out_request)
                 destination_engines.h2d.release(in_request)
+            if tracer.enabled:
+                self._trace_command(
+                    "link/p2p",
+                    TransferReason.FAULT_MIGRATION.value,
+                    started,
+                    span_bytes,
+                    span[0].index,
+                    len(span),
+                )
             self.traffic.record(
                 self.env.now,
                 TransferDirection.DEVICE_TO_DEVICE,
@@ -290,10 +357,16 @@ class MigrationEngine:
         if request is None:
             request = engine.request()
             yield request
+        tracer = self.tracer
+        started = self.env.now if tracer.enabled else 0.0
         try:
             yield from self._timed_command(
                 self.link, nbytes, min(nbytes, BIG_PAGE)
             )
         finally:
             engine.release(request)
+        if tracer.enabled:
+            self._trace_command(
+                f"link/{direction.value}", reason.value, started, nbytes, None, 0
+            )
         self.traffic.record(self.env.now, direction, nbytes, reason)

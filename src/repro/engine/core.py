@@ -361,6 +361,13 @@ class Environment:
         outside input) — the only state a snapshot may capture."""
         return not self._heap
 
+    @property
+    def heap_depth(self) -> int:
+        """Number of scheduled events — the engine's backlog gauge,
+        sampled by the metrics monitor.  Includes cancelled-but-unpopped
+        heap entries, matching what the run loop actually holds."""
+        return len(self._heap)
+
     def advance(self, delta: float) -> None:
         """Jump the clock forward by ``delta`` seconds.
 

@@ -37,13 +37,17 @@ class Request(Event):
 class Resource:
     """A FIFO resource with ``capacity`` identical slots."""
 
-    __slots__ = ("env", "capacity", "_queue", "_users")
+    __slots__ = ("env", "capacity", "name", "_queue", "_users")
 
-    def __init__(self, env: Environment, capacity: int = 1) -> None:
+    def __init__(
+        self, env: Environment, capacity: int = 1, name: "str | None" = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
+        #: Observability label (e.g. ``"h2d"``); never read on hot paths.
+        self.name = name
         self._queue: Deque[Request] = deque()
         self._users: List[Request] = []
 

@@ -23,6 +23,7 @@ from repro.driver.driver import UvmDriver
 from repro.driver.va_block import VaBlock
 from repro.engine.core import Environment
 from repro.engine.resources import Resource
+from repro.instrument.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard, typing only
     from repro.cuda.device import GpuSpec
@@ -53,10 +54,12 @@ class GpuExecutor:
         self.gpu = gpu
         self.remote_access = remote_access
         #: One kernel at a time: the device's compute queue.
-        self.sm_engine = Resource(env, capacity=1)
+        self.sm_engine = Resource(env, capacity=1, name="sm")
         self.kernels_launched = 0
         self.fault_stall_seconds = 0.0
         self.remote_bytes = 0
+        #: Simulated-time tracer; no-op singleton unless one is installed.
+        self.tracer = NULL_TRACER
 
     def _build_waves(
         self, kernel: "KernelSpec"
@@ -77,6 +80,9 @@ class GpuExecutor:
         """Simulation process executing one kernel launch."""
         request = self.sm_engine.request()
         yield request
+        tracer = self.tracer
+        started = self.env.now if tracer.enabled else 0.0
+        restarts = 0
         try:
             self.kernels_launched += 1
             waves = self._build_waves(kernel)
@@ -127,9 +133,21 @@ class GpuExecutor:
                         self, kernel, wave_index
                     ):
                         restart = True
+                        restarts += 1
                         break
             if kernel.fn is not None:
                 kernel.fn()
+            if tracer.enabled:
+                now = self.env.now
+                tracer.span(
+                    f"{self.gpu.name}/compute",
+                    kernel.name,
+                    started,
+                    now,
+                    category="kernel",
+                    args={"waves": len(waves), "restarts": restarts},
+                )
+                tracer.observe("kernel_seconds", now - started)
         finally:
             self.sm_engine.release(request)
 

@@ -30,6 +30,9 @@ class ExperimentResult:
     counters: Dict[str, int] = field(default_factory=dict)
     #: Workload-specific headline metric (e.g. images/second).
     metric: Optional[float] = None
+    #: EventLog entries evicted by the ring buffer during the run; > 0
+    #: means the retained log is a suffix, not a complete record.
+    log_dropped: int = 0
 
     @classmethod
     def from_runtime(
@@ -53,6 +56,7 @@ class ExperimentResult:
             useful_gb=to_gb(rmt.useful_bytes),
             counters=runtime.driver.counters.as_dict(),
             metric=metric,
+            log_dropped=runtime.driver.log.dropped,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -67,7 +71,7 @@ class ExperimentResult:
         unknown = set(data) - names
         if unknown:
             raise ValueError(f"unknown result fields: {sorted(unknown)}")
-        optional = ("counters", "metric")
+        optional = ("counters", "metric", "log_dropped")
         missing = {
             f.name
             for f in fields(cls)

@@ -49,7 +49,7 @@ from repro.harness.systems import System
 
 #: Bump when the cache entry schema or simulator semantics change in a
 #: way that must invalidate previously stored results.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Environment variable overriding the default on-disk cache location.
 CACHE_ENV = "REPRO_SWEEP_CACHE"

@@ -1,0 +1,91 @@
+"""Traced execution of a single sweep point.
+
+:func:`trace_point` is the harness entry behind ``python -m repro trace``
+and the ``--trace`` flags on ``run``/``chaos``: it simulates one
+:class:`~repro.harness.sweep.SweepPoint` with a
+:class:`~repro.instrument.trace.Tracer` installed and returns both the
+usual :class:`~repro.harness.results.ExperimentResult` and the tracer
+holding the timeline.
+
+The tracer attaches *after* the setup prefix — exactly where
+:func:`~repro.harness.sweep.execute_group` attaches a chaos injector on
+a snapshot fork — so a cold traced run and a fork-traced run of the same
+point produce byte-identical trace JSON and equal ``trace_digest``
+values (pinned by ``tests/test_trace.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.harness.results import ExperimentResult
+from repro.instrument.trace import TraceConfig, Tracer
+
+
+def trace_point(
+    point,
+    trace_config: Optional[TraceConfig] = None,
+    via_fork: bool = False,
+) -> Tuple[Optional[ExperimentResult], Tracer]:
+    """Simulate ``point`` with tracing enabled.
+
+    Returns ``(result, tracer)``; ``result`` is ``None`` on the paper's
+    No-UVM-style OOM.  ``via_fork=True`` routes the measured body
+    through an :class:`~repro.engine.snapshot.EngineSnapshot` fork of
+    the setup prefix instead of continuing the cold runtime — the trace
+    must be identical either way.
+
+    Raises :class:`~repro.errors.ConfigurationError` for points without
+    a split-phase plan (No-UVM has no driver to trace).
+    """
+    from repro.harness.runner import run_uvm_body, run_uvm_prefix
+    from repro.harness.sweep import (
+        _driver_config,
+        _gpu_spec,
+        _install_chaos,
+        _link,
+        _point_plan,
+    )
+
+    plan = _point_plan(point)
+    if plan is None:
+        raise ConfigurationError(
+            f"{point.label}: tracing needs a UVM system (No-UVM has no driver)"
+        )
+    tracer = Tracer(trace_config or TraceConfig())
+    driver_config = _driver_config(point)
+    try:
+        runtime = run_uvm_prefix(
+            plan.setup, _gpu_spec(point), _link(point), driver_config=driver_config
+        )
+    except OutOfMemoryError:
+        return None, tracer
+    if via_fork:
+        from repro.driver.config import UvmDriverConfig
+        from repro.engine.snapshot import EngineSnapshot
+
+        runtime = EngineSnapshot(runtime).fork()
+        runtime.driver.reconfigure(driver_config or UvmDriverConfig())
+    # The tracer installs after the prefix (and after any fork), in the
+    # same slot where chaos attaches, so the measured-body timeline is
+    # independent of how the prefix state was produced.
+    tracer.install(runtime)
+    injector = _install_chaos(runtime, point)
+    try:
+        result = run_uvm_body(
+            runtime,
+            plan.body,
+            plan.system,
+            plan.config_label,
+            plan.app_bytes,
+            plan.ratio,
+            metric=plan.metric,
+        )
+    except OutOfMemoryError:
+        return None, tracer
+    finally:
+        if injector is not None:
+            injector.uninstall()
+        tracer.uninstall()
+    return result, tracer

@@ -7,7 +7,7 @@ each subsystem defining its own counter plumbing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple
 
 
 class Counters:
@@ -42,6 +42,60 @@ class Counters:
     PRESSURE_SPIKES = "pressure_spikes"
     RECLAIMED_RESERVED_FRAMES = "reclaimed_reserved_frames"
     INVARIANT_CHECKS = "invariant_checks"
+
+    #: One-line meaning per declared counter, rendered into the generated
+    #: reference table in docs/OBSERVABILITY.md (kept in sync by test).
+    DESCRIPTIONS: Dict[str, str] = {
+        GPU_FAULT_BATCHES: "Replayable GPU fault batches serviced",
+        GPU_FAULTED_BLOCKS: "Blocks brought to the GPU by fault servicing",
+        CPU_FAULTED_BLOCKS: "Blocks brought to the host by CPU page faults",
+        EVICTED_BLOCKS: "Used blocks swapped out to host memory (real D2H)",
+        EVICTED_DISCARDED_BLOCKS: "Discarded blocks reclaimed with no transfer",
+        EVICTED_UNUSED_FRAMES: "Frames reclaimed straight off the unused queue",
+        ZEROED_BLOCKS: "Blocks satisfied by zero-fill instead of migration",
+        DISCARDED_BLOCKS: "Blocks transitioned to discarded by the directive",
+        DISCARD_REVIVALS: "Discarded blocks revived by a later access (S5.7)",
+        PREFETCHED_BLOCKS: "Blocks moved by explicit cudaMemPrefetchAsync",
+        PREFETCH_RECENCY_ONLY: "Prefetched blocks already resident (S7.5.1)",
+        AUTO_PREFETCHED_BLOCKS: "Blocks moved by the stream-detection prefetcher",
+        LAZY_MISUSES: "Lazy-discarded blocks re-purposed without notification",
+        TRANSFER_FAULTS: "Injected transient DMA faults hit by commands",
+        TRANSFER_RETRIES: "DMA commands retried after a transient fault",
+        ECC_RETIRED_FRAMES: "Frames permanently retired by injected ECC errors",
+        ECC_REMAPPED_BLOCKS: "Blocks displaced while vacating ECC-retired frames",
+        KERNEL_ABORTS: "Kernel launches aborted and re-executed by chaos",
+        FAULT_REPLAY_STORMS: "Fault batches hit by an injected replay storm",
+        FAULT_BATCH_REORDERS: "Fault batches reordered by chaos before service",
+        LINK_DEGRADATIONS: "Injected link bandwidth-degradation windows",
+        PRESSURE_SPIKES: "Injected co-tenant memory-pressure spikes",
+        RECLAIMED_RESERVED_FRAMES: "Reserved frames commandeered under OOM pressure",
+        INVARIANT_CHECKS: "Online-validator invariant sweeps executed",
+    }
+
+    @classmethod
+    def declared_names(cls) -> FrozenSet[str]:
+        """Every counter name declared as an uppercase class constant.
+
+        The runtime contract: :meth:`bump` is only ever called with one of
+        these (enforced by test), so a typo cannot create a silent
+        parallel counter.
+        """
+        return frozenset(
+            value
+            for key, value in vars(cls).items()
+            if key.isupper() and key != "DESCRIPTIONS" and isinstance(value, str)
+        )
+
+    @classmethod
+    def reference_table(cls) -> str:
+        """Markdown reference table of declared counters (for the docs)."""
+        lines: List[str] = [
+            "| Counter | Meaning |",
+            "| --- | --- |",
+        ]
+        for name in sorted(cls.declared_names()):
+            lines.append(f"| `{name}` | {cls.DESCRIPTIONS[name]} |")
+        return "\n".join(lines)
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}

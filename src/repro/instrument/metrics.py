@@ -1,0 +1,285 @@
+"""Time-series metrics for the simulator: counters, gauges, histograms.
+
+The registry complements :class:`repro.instrument.counters.Counters` (the
+driver's end-of-run aggregate counters) with *timeline-aware* series:
+
+- :class:`CounterMetric` — monotonic counters, reusing ``Counters`` names
+  so a trace and a report always agree on spelling;
+- :class:`Gauge` — sampled ``(simulated_time, value)`` series, written by
+  the engine-monitor sampler (queue depths, residency, bandwidth
+  utilization);
+- :class:`Histogram` — bounded-bucket distributions (fault-service
+  latency, batch sizes, transfer span bytes).
+
+Everything here is deterministic: samples are keyed by simulated time and
+engine event count, never wall-clock, so two runs of the same experiment
+produce byte-identical CSV dumps.
+
+:class:`EngineMonitorSampler` piggybacks on the engine's monitor hook
+(the same mechanism the chaos injector and online validator use), firing
+every ``cadence`` engine events.  It reads driver/runtime state through
+plain attribute access so this module imports nothing from the driver
+packages and cannot create an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CounterMetric",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EngineMonitorSampler",
+    "DEFAULT_BOUNDS",
+]
+
+
+#: Default histogram bucket upper bounds by metric name.  Latencies are in
+#: simulated seconds, sizes in blocks or bytes.  Unknown names fall back
+#: to :data:`_FALLBACK_BOUNDS`.
+DEFAULT_BOUNDS: Dict[str, Tuple[float, ...]] = {
+    "fault_batch_seconds": (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1),
+    "fault_batch_blocks": (1, 2, 4, 8, 16, 32, 64, 128),
+    "eviction_seconds": (1e-6, 1e-5, 1e-4, 1e-3, 1e-2),
+    "kernel_seconds": (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0),
+    "transfer_span_bytes": (
+        64 * 1024,
+        1 * 1024 * 1024,
+        2 * 1024 * 1024,
+        8 * 1024 * 1024,
+        32 * 1024 * 1024,
+    ),
+    "prefetch_blocks": (1, 2, 4, 8, 16, 32, 64),
+}
+
+_FALLBACK_BOUNDS: Tuple[float, ...] = (1e-6, 1e-4, 1e-2, 1.0, 100.0)
+
+
+class CounterMetric:
+    """A monotonic counter (no timeline; mirrors ``Counters`` semantics)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"metric counters are monotonic; got inc({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A sampled time series of ``(simulated_time, value)`` points."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, when: float, value: float) -> None:
+        self.samples.append((when, value))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.samples[-1][1] if self.samples else None
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/total/min/max summary."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r}: bounds must be ascending")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named counters, gauges and histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, CounterMetric] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> CounterMetric:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = CounterMetric(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            if bounds is None:
+                bounds = DEFAULT_BOUNDS.get(name, _FALLBACK_BOUNDS)
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def sync_counters(self, when: float, counters) -> None:
+        """Record one gauge sample per driver counter (``counter/<name>``)."""
+        for name, value in counters.items():
+            self.gauge("counter/" + name).set(when, value)
+
+    # -- export ----------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Dump every gauge series as ``series,time,value`` rows.
+
+        Series are ordered by name, samples in recording order, so the
+        dump is byte-identical across identical runs.
+        """
+        lines = ["series,time,value"]
+        for name in sorted(self.gauges):
+            for when, value in self.gauges[name].samples:
+                lines.append(f"{name},{when!r},{value!r}")
+        return "\n".join(lines) + "\n"
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Histogram summaries plus counter values, for reports and tests."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self.histograms):
+            out[name] = self.histograms[name].summary()
+        for name in sorted(self.counters):
+            out[name] = {"count": float(self.counters[name].value)}
+        return out
+
+
+class EngineMonitorSampler:
+    """Sample engine/driver occupancy into a registry at a fixed cadence.
+
+    Installed through :meth:`Environment.add_monitor`; fires every
+    ``cadence`` engine events (the deterministic injection clock), so the
+    sample schedule is identical across cold, forked and repeat runs.
+    """
+
+    __slots__ = ("registry", "runtime", "cadence", "_installed", "_last")
+
+    def __init__(self, registry: MetricsRegistry, runtime, cadence: int) -> None:
+        if cadence < 1:
+            raise ValueError(f"sampler cadence must be >= 1, got {cadence}")
+        self.registry = registry
+        self.runtime = runtime
+        self.cadence = cadence
+        self._installed = False
+        traffic = runtime.driver.traffic
+        self._last = (
+            runtime.env.now,
+            traffic.bytes_h2d,
+            traffic.bytes_d2h,
+            traffic.bytes_d2d,
+        )
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self.runtime.env.add_monitor(self._on_event)
+        self._installed = True
+        self.sample()
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self.sample()
+        self.runtime.env.remove_monitor(self._on_event)
+        self._installed = False
+
+    def _on_event(self, env, count: int) -> None:
+        if count % self.cadence == 0:
+            self.sample()
+
+    def sample(self) -> None:
+        runtime = self.runtime
+        env = runtime.env
+        registry = self.registry
+        driver = runtime.driver
+        now = env.now
+
+        # Bandwidth utilization over the window since the last sample, as
+        # a fraction of the link's peak (degradation counts as lost
+        # utilization, matching how a hardware counter would read).
+        last_now, last_h2d, last_d2h, last_d2d = self._last
+        window = now - last_now
+        if window > 0.0:
+            traffic = driver.traffic
+            peak = runtime.link.peak_bandwidth
+            denom = window * peak
+            registry.gauge("link/h2d_utilization").set(
+                now, (traffic.bytes_h2d - last_h2d) / denom
+            )
+            registry.gauge("link/d2h_utilization").set(
+                now, (traffic.bytes_d2h - last_d2h) / denom
+            )
+            if traffic.bytes_d2d or last_d2d:
+                registry.gauge("link/d2d_utilization").set(
+                    now, (traffic.bytes_d2d - last_d2d) / denom
+                )
+            self._last = (now, traffic.bytes_h2d, traffic.bytes_d2h, traffic.bytes_d2d)
+
+        # Residency and queue occupancy per GPU (the driver's lightweight
+        # sampling accessor; ``inspect()`` is too heavy per engine event).
+        for name, free, used, unused_q, discarded_q, used_q in driver.sample_occupancy():
+            registry.gauge(name + "/free_frames").set(now, free)
+            registry.gauge(name + "/used_frames").set(now, used)
+            registry.gauge(name + "/unused_queue").set(now, unused_q)
+            registry.gauge(name + "/discarded_queue").set(now, discarded_q)
+            registry.gauge(name + "/used_queue").set(now, used_q)
+
+        # Copy-engine and scheduler backlog.
+        for label, in_use, queued in driver.sample_engines():
+            registry.gauge(f"copy/{label}_in_use").set(now, in_use)
+            registry.gauge(f"copy/{label}_queue").set(now, queued)
+        registry.gauge("engine/heap_depth").set(now, env.heap_depth)
+        registry.gauge("engine/event_count").set(now, env.event_count)
+
+        registry.sync_counters(now, driver.counters)

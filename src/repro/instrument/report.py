@@ -96,6 +96,34 @@ def sweep_summary_table(
     return "\n".join(lines)
 
 
+def phase_breakdown_table(
+    phase_seconds: "dict[str, float]",
+    elapsed_seconds: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a tracer's per-category time totals as an aligned table.
+
+    ``phase_seconds`` is :meth:`repro.instrument.trace.Tracer.phase_seconds`
+    output.  When ``elapsed_seconds`` is given, each phase also shows its
+    share of the run — note that spans on different tracks overlap (a
+    migration proceeds while a kernel computes), so shares can sum past
+    100%: they answer "how busy was each subsystem", not "how was the
+    wall divided".
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'phase':<14}{'seconds':>12}" + ("" if elapsed_seconds is None else f"{'share':>9}"))
+    for category in sorted(phase_seconds, key=phase_seconds.get, reverse=True):
+        seconds = phase_seconds[category]
+        row = f"{category:<14}{seconds:>12.6f}"
+        if elapsed_seconds is not None:
+            share = seconds / elapsed_seconds if elapsed_seconds else 0.0
+            row += f"{share:>8.1%}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def speedup_summary(
     results: Sequence[ExperimentResult], baseline_system: str
 ) -> str:

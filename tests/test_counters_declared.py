@@ -1,0 +1,79 @@
+"""The counter-name contract: every runtime ``bump`` uses a declared name.
+
+:class:`~repro.instrument.counters.Counters` declares each well-known
+counter as an uppercase class constant with a one-line description.  A
+typo at a call site would otherwise create a silent parallel counter that
+no report, test or dashboard ever reads — so this suite spies on every
+``bump`` during a real driver run (chaos mechanisms included) and
+asserts the observed names are a subset of the declared set, and that
+the docs reference table stays generated from the same source.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.instrument.counters import Counters
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+@pytest.fixture
+def bump_spy(monkeypatch):
+    seen = []
+    real_bump = Counters.bump
+
+    def spying_bump(self, name, amount=1):
+        seen.append(name)
+        return real_bump(self, name, amount)
+
+    monkeypatch.setattr(Counters, "bump", spying_bump)
+    return seen
+
+
+class TestDeclaredNames:
+    def test_declarations_and_descriptions_agree(self):
+        declared = Counters.declared_names()
+        assert declared, "no declared counters found"
+        assert set(Counters.DESCRIPTIONS) == set(declared)
+        assert all(Counters.DESCRIPTIONS[name] for name in declared)
+
+    def test_reference_table_lists_every_counter(self):
+        table = Counters.reference_table()
+        for name in Counters.declared_names():
+            assert f"`{name}`" in table
+
+    def test_runtime_bumps_use_declared_names_only(self, bump_spy):
+        from repro.harness.sweep import SweepPoint, execute_point
+
+        # A chaos-laden oversubscribed point drives the fault, eviction,
+        # discard, prefetch AND injection/recovery counter paths.
+        point = SweepPoint(
+            workload="radix",
+            system="UvmDiscard",
+            ratio=2.0,
+            scale=0.03125,
+            chaos=(
+                ("seed", 3),
+                ("transfer_fault_interval", 300),
+                ("link_degrade_interval", 700),
+                ("ecc_retire_interval", 1500),
+                ("replay_storm_interval", 900),
+                ("pressure_spike_interval", 1100),
+            ),
+        )
+        result = execute_point(point)
+        assert result is not None
+        assert bump_spy, "expected the run to bump counters"
+        undeclared = sorted(set(bump_spy) - Counters.declared_names())
+        assert not undeclared, (
+            f"Counters.bump called with undeclared names {undeclared}; "
+            f"declare them as Counters constants (with DESCRIPTIONS entries)"
+        )
+
+    def test_docs_table_in_sync_with_code(self):
+        """docs/OBSERVABILITY.md embeds the generated reference table."""
+        doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        assert Counters.reference_table() in doc
