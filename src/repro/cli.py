@@ -18,6 +18,11 @@ Commands:
 - ``trace`` — run one experiment point with the simulated-time tracer
   installed and export a Perfetto-loadable Chrome trace plus an
   optional metrics time-series CSV (see ``docs/OBSERVABILITY.md``),
+- ``serve`` — the long-running simulation-as-a-service frontend: a
+  JSON-over-HTTP API with content-hash dedup, warm snapshot pools,
+  backpressure and per-client rate limits (see ``docs/SERVING.md``),
+- ``loadgen`` — replay a seeded mix of concurrent requests against a
+  running server and report p50/p99 latency plus dedup/pool hit rates,
 - ``demo`` — the VectorAdd quickstart with verified results.
 
 The heavyweight regeneration of *every* table and figure lives in
@@ -480,6 +485,66 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the experiment server; see docs/SERVING.md."""
+    from repro.serve.server import ServeConfig, serve_forever
+
+    try:
+        cache_dir: Optional[pathlib.Path] = None
+        if not args.no_cache:
+            cache_dir = pathlib.Path(args.cache_dir or default_cache_dir())
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            executor=args.executor,
+            pool_bytes=args.pool_bytes,
+            queue_limit=args.queue_limit,
+            rate=args.rate,
+            burst=args.burst,
+            cache_dir=cache_dir,
+            drain_seconds=args.drain_seconds,
+        )
+        config.validate()
+    except (ConfigurationError, ValueError) as exc:
+        print(f"bad serve spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return serve_forever(config)
+    except OSError as exc:
+        print(f"cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a running server with concurrent load; see docs/SERVING.md."""
+    from repro.serve.loadgen import run_load
+
+    try:
+        report = run_load(
+            args.url,
+            requests=args.requests,
+            clients=args.clients,
+            duplicate_fraction=args.duplicates,
+            seed=args.seed,
+            scale=args.scale,
+            timeout=args.timeout,
+            verify_identity=args.verify_identity,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"load run failed: {exc}", file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.to_dict(), sort_keys=True, indent=1))
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    ok = report.failed == 0 and report.identity_mismatches == 0
+    return 0 if ok else 1
+
+
 def cmd_demo(_args) -> int:
     import numpy as np
 
@@ -733,6 +798,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing trace file instead of running",
     )
     trace.set_defaults(func=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service experiment server "
+        "(JSON-over-HTTP, warm snapshot pools, result-cache dedup)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="TCP port (0 = ephemeral; the chosen port is printed)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="simulation workers in the executor (default 2)",
+    )
+    serve.add_argument(
+        "--executor",
+        default="process",
+        choices=("process", "thread"),
+        help="process executor for true parallelism (default), or the "
+        "thread executor (single shared snapshot pool; tests/CI)",
+    )
+    serve.add_argument(
+        "--pool-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        help="warm snapshot-pool byte budget per worker "
+        "(default 256 MiB; 0 disables pooling)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="max outstanding (queued + running) points before /run "
+        "answers 429 (default 256)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="per-client token-bucket refill rate in requests/second "
+        "(default 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=20.0,
+        help="per-client token-bucket burst capacity (default 20)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help=f"result-cache root (default .repro_cache/sweeps, or ${CACHE_ENV})",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (in-flight coalescing stays on)",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="graceful-shutdown budget for in-flight requests (default 10)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay concurrent requests against a running server and "
+        "report latency/dedup/pool statistics",
+    )
+    loadgen.add_argument("--url", required=True, help="server base URL")
+    loadgen.add_argument(
+        "--requests", type=int, default=100, help="total requests (default 100)"
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients (default 8)"
+    )
+    loadgen.add_argument(
+        "--duplicates",
+        type=float,
+        default=0.5,
+        help="fraction of requests drawn as duplicates (default 0.5)",
+    )
+    loadgen.add_argument(
+        "--scale", type=float, default=0.03125, help="workload scale factor"
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0, help="schedule seed (default 0)"
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=120.0, help="per-request timeout"
+    )
+    loadgen.add_argument(
+        "--verify-identity",
+        type=int,
+        default=0,
+        help="re-simulate this many served points locally and compare "
+        "byte-for-byte (slow; default 0)",
+    )
+    loadgen.add_argument(
+        "--report", metavar="PATH", help="write the full JSON report here"
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
 
     sub.add_parser("demo", help="run the VectorAdd demo").set_defaults(
         func=cmd_demo

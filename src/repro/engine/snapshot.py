@@ -42,7 +42,11 @@ when the heap is empty at the boundary, which tests pin down
 from __future__ import annotations
 
 import copy
-from typing import Generic, TypeVar
+import pickle
+import sys
+import threading
+from collections import OrderedDict
+from typing import Dict, Generic, Optional, Tuple, TypeVar
 
 from repro.errors import SnapshotError
 
@@ -90,3 +94,201 @@ class EngineSnapshot(Generic[T]):
     def fork(self) -> T:
         """An independent restored copy of the captured simulation."""
         return copy.deepcopy(self._payload)
+
+    def payload_nbytes(self) -> int:
+        """Estimated in-memory footprint of the frozen payload, in bytes.
+
+        Used by :class:`SnapshotPool` byte accounting.  A quiescent
+        payload has no live generator frames, so it normally pickles;
+        unpicklable graphs fall back to a recursive ``sys.getsizeof``
+        walk.  Either way the estimate is deterministic for a given
+        payload shape.
+        """
+        return estimate_nbytes(self._payload)
+
+
+def estimate_nbytes(obj: object) -> int:
+    """Best-effort deep size of ``obj`` in bytes.
+
+    ``pickle`` length when the graph pickles (a quiescent simulation
+    does: finished processes shed their generators), else a recursive
+    ``sys.getsizeof`` traversal over ``__dict__``/containers.
+    """
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return _getsizeof_walk(obj)
+
+
+def _getsizeof_walk(root: object) -> int:
+    seen = set()
+    total = 0
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic objects
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.append(obj.__dict__)
+        elif hasattr(obj, "__slots__"):
+            for slot in obj.__slots__:
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return total
+
+
+class _PoolEntry:
+    __slots__ = ("snapshot", "nbytes", "forks")
+
+    def __init__(self, snapshot: EngineSnapshot, nbytes: int) -> None:
+        self.snapshot = snapshot
+        self.nbytes = nbytes
+        self.forks = 0
+
+
+class SnapshotPool:
+    """An LRU-bounded, byte-budgeted registry of warm snapshots.
+
+    The experiment server keeps one pool per worker: popular setup
+    prefixes (keyed by :func:`repro.harness.sweep.prefix_key`) are
+    snapshotted once and then *forked* per request instead of
+    cold-starting the whole simulation.  The pool enforces three
+    invariants, pinned by ``tests/test_serve_pool_property.py``:
+
+    - the summed ``nbytes`` of admitted entries never exceeds
+      ``max_bytes`` (least-recently-used entries are evicted to make
+      room; an entry larger than the whole budget is refused),
+    - a non-quiescent simulation is never admitted — admission takes an
+      :class:`EngineSnapshot`, whose constructor raises
+      :class:`~repro.errors.SnapshotError` on live process frames, and
+      :meth:`admit` turns that into a counted refusal,
+    - eviction is transparent: a missing prefix simply cold-starts, and
+      (because forked runs are byte-identical to cold ones) the served
+      result is unchanged.
+
+    All methods are thread-safe; the server's thread executor shares
+    one pool, the process executor keeps one per worker process.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"pool budget must be >= 0 bytes, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple, _PoolEntry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.admitted = 0
+        self.evicted = 0
+        self.rejected_live = 0
+        self.rejected_oversize = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def admit(
+        self,
+        key: Tuple,
+        root: object,
+        nbytes: Optional[int] = None,
+    ) -> bool:
+        """Snapshot ``root`` (or accept a prebuilt snapshot) under ``key``.
+
+        Returns ``False`` — never raises — when the simulation is not
+        quiescent (``rejected_live``) or larger than the entire budget
+        (``rejected_oversize``).  Admitting an existing key replaces the
+        old entry.  Evicts least-recently-used entries until the budget
+        holds.
+        """
+        if isinstance(root, EngineSnapshot):
+            snapshot = root
+        else:
+            try:
+                snapshot = EngineSnapshot(root)
+            except SnapshotError:
+                with self._lock:
+                    self.rejected_live += 1
+                return False
+        if nbytes is None:
+            nbytes = snapshot.payload_nbytes()
+        if nbytes < 0:
+            raise ValueError(f"snapshot nbytes must be >= 0, got {nbytes}")
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self.rejected_oversize += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _PoolEntry(snapshot, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evicted += 1
+            self.admitted += 1
+        return True
+
+    def fork(self, key: Tuple):
+        """A fresh runtime forked from the warm snapshot for ``key``, or
+        ``None`` on a pool miss (the caller cold-starts)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.forks += 1
+            self.hits += 1
+            snapshot = entry.snapshot
+        # Fork outside the lock: the deepcopy is the expensive part and
+        # EngineSnapshot.fork never mutates the frozen payload.
+        return snapshot.fork()
+
+    def evict(self, key: Tuple) -> bool:
+        """Explicitly drop one entry; ``True`` when it existed."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+            self.evicted += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self.evicted += len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-able stats snapshot for ``/metrics``."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "admitted": self.admitted,
+                "evicted": self.evicted,
+                "rejected_live": self.rejected_live,
+                "rejected_oversize": self.rejected_oversize,
+            }

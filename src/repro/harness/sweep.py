@@ -24,9 +24,11 @@ the ``benchmarks/`` figure regenerators all go through this API.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -637,6 +639,12 @@ def _pool_group_worker(
 # ----------------------------------------------------------------------
 
 
+#: Distinguishes concurrent writers' temp files within one process; the
+#: pid alone is not enough once the experiment server's thread pool and
+#: the sweep's process pool share a cache root.
+_TMP_COUNTER = itertools.count()
+
+
 class ResultCache:
     """Content-addressed on-disk store of finished sweep points.
 
@@ -645,7 +653,20 @@ class ResultCache:
     *any* input change — workload, system, link, ratio, batch, scale,
     GPU, driver override, or cache schema — misses and re-simulates.
     Unreadable or corrupt entries are treated as misses, never errors.
+
+    The store is safe under concurrent readers and writers from any mix
+    of threads and processes (the experiment server hammers it from
+    both): each writer stages to a uniquely-named temp file (pid +
+    thread id + counter) and publishes with the atomic ``os.replace``,
+    so a reader observes either the old complete entry or the new one,
+    never a partial write.  Reads retry briefly on transient
+    ``OSError`` and fall back to a miss.  Concurrent writers of the
+    same key are idempotent — both write the identical deterministic
+    outcome — so last-replace-wins is correct.
     """
+
+    #: Read attempts before treating a transient error as a miss.
+    READ_RETRIES = 3
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -662,9 +683,20 @@ class ResultCache:
         """The stored outcome dict, or ``None`` on miss/corruption."""
         key = point.cache_key()
         path = self.path_for(point, key)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        payload = None
+        for attempt in range(self.READ_RETRIES):
+            try:
+                payload = json.loads(path.read_text())
+                break
+            except FileNotFoundError:
+                return None
+            except (OSError, ValueError):
+                # A transient read failure (e.g. replace-in-progress on a
+                # filesystem without atomic rename semantics); back off
+                # briefly, then treat as a miss.
+                if attempt + 1 < self.READ_RETRIES:
+                    time.sleep(0.005 * (attempt + 1))
+        if payload is None:
             return None
         if not isinstance(payload, dict):
             return None
@@ -680,7 +712,12 @@ class ResultCache:
         return outcome  # type: ignore[return-value]
 
     def put(self, point: SweepPoint, outcome: Dict[str, object]) -> None:
-        """Atomically persist one outcome (write temp file, then rename)."""
+        """Atomically persist one outcome (write temp file, then rename).
+
+        The temp name is unique per (process, thread, call) so two
+        concurrent writers — even threads sharing a pid — never
+        interleave bytes in one staging file.
+        """
         key = point.cache_key()
         path = self.path_for(point, key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -690,9 +727,18 @@ class ResultCache:
             "point": point.to_dict(),
             "outcome": outcome,
         }
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
-        os.replace(tmp, path)
+        tmp = path.with_suffix(
+            f".tmp-{os.getpid()}-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError:
+            # Cache writes are best-effort; never fail the simulation.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,11 @@ DEFAULT_BOUNDS: Dict[str, Tuple[float, ...]] = {
         32 * 1024 * 1024,
     ),
     "prefetch_blocks": (1, 2, 4, 8, 16, 32, 64),
+    # Wall-clock request latencies of the experiment server (seconds).
+    "serve/request_seconds": (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+        0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    ),
 }
 
 _FALLBACK_BOUNDS: Tuple[float, ...] = (1e-6, 1e-4, 1e-2, 1.0, 100.0)
@@ -129,6 +134,34 @@ class Histogram:
             "min": self.min,
             "max": self.max,
         }
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``).
+
+        Walks the cumulative bucket counts to the bucket containing the
+        ``q``-th observation and interpolates linearly inside it,
+        clamped to the observed ``min``/``max`` so estimates never
+        leave the recorded range.  Empty histograms return 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile wants 0 <= q <= 1, got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            lower = self.bounds[index - 1] if index > 0 else self.min
+            upper = (
+                self.bounds[index] if index < len(self.bounds) else self.max
+            )
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                value = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                return max(self.min, min(self.max, value))
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - target beyond final bucket
 
 
 class MetricsRegistry:

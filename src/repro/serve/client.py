@@ -1,0 +1,148 @@
+"""Synchronous client for the experiment server.
+
+Plain-stdlib (``http.client``) so worker threads, the load generator
+and CI scripts can all talk to ``repro serve`` without dependencies.
+One connection per request matches the server's ``Connection: close``
+contract.
+
+The client is *retrying*: a 429 (rate limit or queue backpressure) is
+honored by sleeping the server's ``Retry-After`` hint and retrying, up
+to ``max_retries`` attempts — modeled on the retrying, concurrency-
+limited call surface of a production inference client.  Anything else
+``>= 400`` raises :class:`ServeError` immediately.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+
+class ServeError(RuntimeError):
+    """A non-retryable (or retries-exhausted) server response."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """JSON-over-HTTP client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: str = "anon",
+        timeout: float = 120.0,
+        max_retries: int = 20,
+        max_backoff: float = 2.0,
+    ) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"expected an http://host:port URL, got {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.client_id = client_id
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.max_backoff = max_backoff
+        #: 429s absorbed by retrying; the load generator reports this.
+        self.retries = 0
+
+    # -- transport -------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, payload: Optional[Dict[str, object]]
+    ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            data = json.loads(raw.decode()) if raw else {}
+            if not isinstance(data, dict):
+                data = {"value": data}
+            return response.status, dict(response.getheaders()), data
+        finally:
+            connection.close()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        for attempt in range(self.max_retries + 1):
+            status, headers, data = self._once(method, path, payload)
+            if status == 429 and attempt < self.max_retries:
+                self.retries += 1
+                try:
+                    delay = float(headers.get("Retry-After", "0.1"))
+                except ValueError:
+                    delay = 0.1
+                time.sleep(min(max(0.01, delay), self.max_backoff))
+                continue
+            if status >= 400:
+                raise ServeError(status, data)
+            return data
+        raise ServeError(429, data)  # pragma: no cover - loop always returns
+
+    # -- API -------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/metrics")
+
+    def run_point(
+        self, point: Union[Dict[str, object], object], wait: bool = True
+    ) -> Dict[str, object]:
+        """Run one experiment point; returns the server's response dict
+        (``outcome``/``provenance``/``source`` when ``wait``, else a job
+        id)."""
+        if hasattr(point, "to_dict"):
+            point = point.to_dict()
+        return self._request(
+            "POST",
+            "/run",
+            {"point": point, "client": self.client_id, "wait": wait},
+        )
+
+    def submit_sweep(
+        self,
+        points: Optional[List[Dict[str, object]]] = None,
+        grid: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        request: Dict[str, object] = {"client": self.client_id}
+        if points is not None:
+            request["points"] = [
+                p.to_dict() if hasattr(p, "to_dict") else p for p in points
+            ]
+        if grid is not None:
+            request["grid"] = grid
+        return self._request("POST", "/sweep", request)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/status/{job_id}")
+
+    def wait_job(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.05
+    ) -> Dict[str, object]:
+        """Poll ``/status/<id>`` until the job completes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") == "done":
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still running after {timeout}s")
+            time.sleep(poll)

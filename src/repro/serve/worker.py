@@ -1,0 +1,141 @@
+"""Simulation workers: pooled point execution behind the server.
+
+Each worker (a process of the :class:`~concurrent.futures.
+ProcessPoolExecutor`, or the single shared state of the thread
+executor) owns one :class:`~repro.engine.snapshot.SnapshotPool`.  A
+request whose :func:`~repro.harness.sweep.prefix_key` is warm forks the
+quiesced snapshot and runs only the measured body; a cold request
+simulates the setup prefix once, admits its snapshot for future
+requests, and then runs the body **on a fork of that snapshot** — the
+exact split-phase protocol of
+:func:`~repro.harness.sweep.execute_group`, which
+``tests/test_snapshot_fork.py`` pins byte-identical to a monolithic
+cold :func:`~repro.harness.sweep.execute_point` run.  Points without a
+prefix key (No-UVM, ``snapshot_reuse=False`` opt-outs) run unpooled.
+
+Everything crossing the process boundary is a plain dict: the point in,
+``{"outcome", "source", "pid", "pool"}`` out.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.engine.snapshot import EngineSnapshot, SnapshotPool
+from repro.errors import OutOfMemoryError, SnapshotError
+
+#: Default per-worker snapshot-pool budget (bytes).
+DEFAULT_POOL_BYTES = 256 * 1024 * 1024
+
+#: The worker's warm pool; ``None`` until :func:`init_worker` runs (or
+#: when pooling is disabled with a zero budget).
+_POOL: Optional[SnapshotPool] = None
+
+
+def init_worker(pool_bytes: int = DEFAULT_POOL_BYTES) -> None:
+    """Executor initializer: create this worker's warm snapshot pool.
+
+    ``pool_bytes <= 0`` disables pooling (every request runs unpooled).
+    The process executor runs this once per worker process; the thread
+    executor calls it once in the server process, so all threads share
+    one (thread-safe) pool.
+    """
+    global _POOL
+    _POOL = SnapshotPool(pool_bytes) if pool_bytes > 0 else None
+
+
+def worker_pool() -> Optional[SnapshotPool]:
+    """This worker's pool (test hook; ``None`` when pooling is off)."""
+    return _POOL
+
+
+def run_point(point_dict: Dict[str, object]) -> Dict[str, object]:
+    """Top-level (picklable) worker entry: simulate one point.
+
+    Returns ``{"outcome": <outcome dict>, "source": "fork"|"cold"|
+    "unpooled", "pid": <worker pid>, "pool": <stats or None>}``.
+    """
+    from repro.harness.sweep import SweepPoint
+
+    point = SweepPoint.from_dict(point_dict)
+    outcome, source = execute_point_pooled(point, _POOL)
+    return {
+        "outcome": outcome,
+        "source": source,
+        "pid": os.getpid(),
+        "pool": _POOL.stats() if _POOL is not None else None,
+    }
+
+
+def execute_point_pooled(
+    point, pool: Optional[SnapshotPool]
+) -> Tuple[Dict[str, object], str]:
+    """Simulate ``point``, forking from ``pool`` when its prefix is warm.
+
+    Returns ``(outcome_dict, source)`` where ``source`` is ``"fork"``
+    (warm-pool hit), ``"cold"`` (prefix simulated here, snapshot
+    admitted for next time) or ``"unpooled"`` (no pool / no split-phase
+    plan).  The outcome dict is exactly what the sweep cache stores, so
+    served results compare byte-for-byte with ``repro run``.
+    """
+    from repro.driver.config import UvmDriverConfig
+    from repro.harness.runner import run_uvm_body, run_uvm_prefix
+    from repro.harness.sweep import (
+        _driver_config,
+        _gpu_spec,
+        _install_chaos,
+        _link,
+        _outcome_to_dict,
+        _point_plan,
+        execute_point,
+        prefix_key,
+    )
+
+    key = prefix_key(point) if pool is not None else None
+    plan = _point_plan(point) if key is not None else None
+    if pool is None or key is None or plan is None:
+        return _outcome_to_dict(execute_point(point)), "unpooled"
+
+    runtime = pool.fork(key)
+    source = "fork"
+    if runtime is None:
+        source = "cold"
+        try:
+            prefix_runtime = run_uvm_prefix(
+                plan.setup,
+                _gpu_spec(point),
+                _link(point),
+                driver_config=_driver_config(point),
+            )
+        except OutOfMemoryError:
+            return {"status": "oom"}, source
+        try:
+            snapshot = EngineSnapshot(prefix_runtime)
+        except SnapshotError:
+            # A non-quiescent prefix cannot be pooled; degrade to the
+            # monolithic cold path (identical results, no reuse).
+            return _outcome_to_dict(execute_point(point)), "unpooled"
+        pool.admit(key, snapshot)
+        # Run the body on a fork (not the prefix runtime itself) so the
+        # cold path executes the same protocol as the warm path.
+        runtime = snapshot.fork()
+
+    runtime.driver.reconfigure(_driver_config(point) or UvmDriverConfig())
+    injector = _install_chaos(runtime, point)
+    try:
+        result = run_uvm_body(
+            runtime,
+            plan.body,
+            plan.system,
+            plan.config_label,
+            plan.app_bytes,
+            plan.ratio,
+            metric=plan.metric,
+        )
+    except OutOfMemoryError:
+        return {"status": "oom"}, source
+    finally:
+        if injector is not None:
+            injector.uninstall()
+    return _outcome_to_dict(result), source

@@ -1,5 +1,14 @@
 """Tests for the command-line interface."""
 
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -87,3 +96,156 @@ class TestDemo:
     def test_demo_verifies_result(self, capsys):
         assert main(["demo"]) == 0
         assert "result OK" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8731
+        assert args.workers == 2
+        assert args.executor == "process"
+        assert args.pool_bytes == 256 * 1024 * 1024
+        assert args.queue_limit == 256
+        assert args.rate == 0.0
+        assert args.no_cache is False
+        assert args.drain_seconds == 10.0
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--workers", "5",
+                "--executor", "thread",
+                "--pool-bytes", "0",
+                "--queue-limit", "7",
+                "--rate", "3.5",
+                "--no-cache",
+            ]
+        )
+        assert args.port == 0
+        assert args.workers == 5
+        assert args.executor == "thread"
+        assert args.pool_bytes == 0
+        assert args.queue_limit == 7
+        assert args.rate == 3.5
+        assert args.no_cache is True
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "fiber"])
+
+    def test_invalid_spec_exits_2(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "bad serve spec" in capsys.readouterr().err
+
+    def test_bad_bind_address_exits_2(self, capsys):
+        assert main(["serve", "--host", "203.0.113.1", "--no-cache"]) == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+
+class TestLoadgenParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--url", "http://x:1"])
+        assert args.url == "http://x:1"
+        assert args.requests == 100
+        assert args.clients == 8
+        assert args.duplicates == 0.5
+        assert args.seed == 0
+        assert args.verify_identity == 0
+        assert args.report is None
+
+    def test_url_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+    def test_unreachable_server_exits_2(self, capsys):
+        assert main(
+            ["loadgen", "--url", "http://127.0.0.1:9", "--requests", "1",
+             "--clients", "1", "--timeout", "1"]
+        ) in (1, 2)
+
+
+class TestServeSubprocess:
+    """The full `python -m repro serve` contract: announce line,
+    malformed-request 400s, SIGTERM -> graceful exit 0."""
+
+    @pytest.fixture()
+    def server_process(self):
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--executor", "thread",
+                "--workers", "1",
+                "--no-cache",
+                "--drain-seconds", "5",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            announce = process.stdout.readline()
+            yield process, announce
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+
+    @staticmethod
+    def _port(announce):
+        assert announce.startswith("serving on http://127.0.0.1:"), announce
+        return int(announce.split("http://127.0.0.1:")[1].split()[0])
+
+    def _post(self, port, path, body):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request(
+                "POST", path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read().decode())
+        finally:
+            connection.close()
+
+    def test_serves_then_drains_cleanly_on_sigterm(self, server_process):
+        process, announce = server_process
+        port = self._port(announce)
+        assert "cache off" in announce and "thread x1" in announce
+
+        # Malformed requests are 400s, not crashes.
+        status, payload = self._post(port, "/run", b"{not json")
+        assert status == 400
+        assert "error" in payload
+        status, payload = self._post(port, "/run", json.dumps({}).encode())
+        assert status == 400
+
+        # A real point round-trips through the worker pool.
+        status, payload = self._post(
+            port,
+            "/run",
+            json.dumps(
+                {"point": {"workload": "fir", "system": "UvmDiscard",
+                           "ratio": 2.0, "scale": 0.03125}}
+            ).encode(),
+        )
+        assert status == 200
+        assert payload["provenance"] == "run"
+        assert payload["outcome"]["status"] == "ok"
+
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+
+    def test_sigint_also_exits_zero(self, server_process):
+        process, announce = server_process
+        self._port(announce)  # wait until bound
+        time.sleep(0.1)
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=30) == 0

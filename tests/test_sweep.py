@@ -319,3 +319,86 @@ def test_fig5_subgrid_speedup_and_cache_identity(tmp_path):
     assert again.simulated == 0
     assert again.cached == len(points)
     assert again.to_json() == first.to_json()
+
+
+class TestCacheConcurrency:
+    """The cache must be safe under concurrent readers/writers (the
+    experiment server hammers one root from threads *and* processes).
+
+    Regression: ``put`` used a pid-only temp name, so two threads in one
+    process could interleave bytes in a single staging file and publish
+    a torn JSON entry."""
+
+    @staticmethod
+    def _outcomes(point):
+        """Two distinct but individually valid outcomes for one key."""
+        ok = {"status": "ok", "result": execute_point(point).to_dict()}
+        return ok, {"status": "oom"}
+
+    def test_thread_hammer_never_observes_partial_writes(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        point = fir_points(ratios=(2.0,), systems=("UvmDiscard",))[0]
+        variants = self._outcomes(point)
+        canonical = {json.dumps(v, sort_keys=True) for v in variants}
+        cache.put(point, variants[0])
+        torn = []
+
+        def writer(variant):
+            for _ in range(60):
+                cache.put(point, variant)
+
+        def reader():
+            for _ in range(120):
+                seen = cache.get(point)
+                if seen is None or json.dumps(seen, sort_keys=True) not in canonical:
+                    torn.append(seen)
+
+        threads = [
+            threading.Thread(target=writer, args=(variants[i % 2],))
+            for i in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not torn, f"readers observed torn/corrupt entries: {torn[:3]}"
+        final = cache.get(point)
+        assert json.dumps(final, sort_keys=True) in canonical
+        # No staging litter left behind.
+        leftovers = [
+            p for p in (tmp_path / "cache").rglob("*") if ".tmp" in p.name
+        ]
+        assert not leftovers
+
+    def test_process_hammer_never_observes_partial_writes(self, tmp_path):
+        import multiprocessing
+
+        cache = ResultCache(tmp_path / "cache")
+        point = fir_points(ratios=(2.0,), systems=("UvmDiscard",))[0]
+        variants = self._outcomes(point)
+        canonical = {json.dumps(v, sort_keys=True) for v in variants}
+        cache.put(point, variants[0])
+        context = multiprocessing.get_context("fork")
+        failures = context.Queue()
+
+        def hammer(variant):
+            for _ in range(40):
+                cache.put(point, variant)
+                seen = cache.get(point)
+                if seen is None or json.dumps(seen, sort_keys=True) not in canonical:
+                    failures.put(seen)
+
+        workers = [
+            context.Process(target=hammer, args=(variants[i % 2],))
+            for i in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        assert failures.empty()
+        final = cache.get(point)
+        assert json.dumps(final, sort_keys=True) in canonical
