@@ -30,6 +30,29 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured results of every table and figure.
 """
 
+# NumPy is a hard runtime dependency: the residency bitmaps, workload
+# data oracles and vectorized kernel hot paths are built on it.  Fail
+# at import with an actionable message instead of an AttributeError
+# deep inside a simulation when the interpreter has no (or an ancient)
+# NumPy.  The floor matches pyproject.toml; 1.22 is the first release
+# supporting every Python version this package does (>= 3.9).
+try:
+    import numpy as _numpy
+except ImportError as _exc:  # pragma: no cover - environment-dependent
+    raise ImportError(
+        "repro requires NumPy (>= 1.22) at runtime; install it with "
+        "`pip install 'numpy>=1.22'`"
+    ) from _exc
+_numpy_version = tuple(
+    int(part) for part in _numpy.__version__.split(".")[:2] if part.isdigit()
+)
+if _numpy_version < (1, 22):  # pragma: no cover - environment-dependent
+    raise ImportError(
+        f"repro requires NumPy >= 1.22, found {_numpy.__version__}; "
+        "upgrade with `pip install --upgrade 'numpy>=1.22'`"
+    )
+del _numpy, _numpy_version
+
 from repro.access import AccessMode
 from repro.core import DataOracle, DiscardAdvisor, UvmDiscard, UvmDiscardLazy
 from repro.cuda import (

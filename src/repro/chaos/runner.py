@@ -63,7 +63,7 @@ def trace_digest(runtime: CudaRuntime) -> str:
         traffic.bytes_d2d,
         traffic.transfer_count,
         traffic.block_bytes,
-        sorted((r.value, n) for r, n in traffic._by_reason.items()),
+        sorted(traffic._by_reason.items()),
     )
     rmt = runtime.driver.rmt
     put("rmt", rmt.useful_bytes, rmt.redundant_bytes, rmt.pending_bytes)

@@ -34,6 +34,7 @@ through the same :mod:`repro.harness.sweep` engine.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -113,12 +114,13 @@ def _report_log_dropped(results: List[ExperimentResult]) -> None:
 
 
 def _run_micro(
-    kind: str, scale: float, link_name: str, trace: Optional[str] = None
+    kind: str, scale: float, link_name: str, trace: Optional[str] = None,
+    fast: bool = False,
 ) -> List[ExperimentResult]:
     points = [
         SweepPoint(
             workload=kind, system=system.value, link=link_name,
-            ratio=ratio, scale=scale,
+            ratio=ratio, scale=scale, mode="fast" if fast else "exact",
         )
         for ratio in RATIOS
         for system in MICRO_SYSTEMS
@@ -134,13 +136,14 @@ def _run_micro(
 
 
 def _run_dl(
-    network: str, scale: float, link_name: str, trace: Optional[str] = None
+    network: str, scale: float, link_name: str, trace: Optional[str] = None,
+    fast: bool = False,
 ) -> List[ExperimentResult]:
     batches = DL_BATCH_GRID[network]
     points = [
         SweepPoint(
             workload=f"dl:{network}", system=system.value, link=link_name,
-            batch_size=batch, scale=scale,
+            batch_size=batch, scale=scale, mode="fast" if fast else "exact",
         )
         for batch in batches
         for system in MICRO_SYSTEMS
@@ -167,10 +170,29 @@ def cmd_run(args) -> int:
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
-    if name.startswith("dl:"):
-        results = _run_dl(name.split(":", 1)[1], args.scale, args.link, args.trace)
-    else:
-        results = _run_micro(name, args.scale, args.link, args.trace)
+    fast = getattr(args, "fast", False)
+    if fast and args.trace:
+        print(
+            "--fast and --trace are incompatible: the analytical model "
+            "simulates no events to trace",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.fastmodel import FastModelError
+
+    try:
+        if name.startswith("dl:"):
+            results = _run_dl(
+                name.split(":", 1)[1], args.scale, args.link, args.trace,
+                fast=fast,
+            )
+        else:
+            results = _run_micro(
+                name, args.scale, args.link, args.trace, fast=fast
+            )
+    except FastModelError as exc:
+        print(f"fast model unavailable: {exc}", file=sys.stderr)
+        return 2
     _report_log_dropped(results)
     if args.csv:
         with open(args.csv, "w") as handle:
@@ -232,6 +254,10 @@ def cmd_sweep(args) -> int:
                 scale=args.scale,
             )
         points = grid.expand()
+        if getattr(args, "fast", False):
+            points = [
+                dataclasses.replace(point, mode="fast") for point in points
+            ]
         if args.jobs < 1:
             raise ConfigurationError(f"--jobs must be >= 1: {args.jobs}")
     except (ConfigurationError, OSError, ValueError) as exc:
@@ -242,13 +268,19 @@ def cmd_sweep(args) -> int:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     where = "off" if cache is None else str(cache.root)
     print(f"{len(points)} points, jobs={args.jobs}, cache={where}")
-    report = run_sweep(
-        points,
-        jobs=args.jobs,
-        cache=cache,
-        progress=print,
-        snapshot_reuse=not args.no_snapshot_reuse,
-    )
+    from repro.fastmodel import FastModelError
+
+    try:
+        report = run_sweep(
+            points,
+            jobs=args.jobs,
+            cache=cache,
+            progress=print,
+            snapshot_reuse=not args.no_snapshot_reuse,
+        )
+    except FastModelError as exc:
+        print(f"fast model unavailable: {exc}", file=sys.stderr)
+        return 2
     print()
     print(sweep_summary_table([(p.label, r) for p, r in report.rows()]))
     print(
@@ -271,6 +303,7 @@ def cmd_profile(args) -> int:
     from repro.harness.perf import (
         BENCHMARKS,
         check_regressions,
+        compare_results,
         load_bench_json,
         run_benchmarks,
         results_to_json,
@@ -305,6 +338,14 @@ def cmd_profile(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(payload)
         print(f"wrote {args.output}")
+    if args.compare:
+        try:
+            baseline = load_bench_json(pathlib.Path(args.compare).read_text())
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad baseline {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        print(f"vs baseline {args.compare}:")
+        print(compare_results(results, baseline))
     if args.check:
         try:
             baseline = load_bench_json(pathlib.Path(args.check).read_text())
@@ -323,6 +364,15 @@ def cmd_profile(args) -> int:
             f"({len(results)} benchmarks)"
         )
     return 0
+
+
+def cmd_fastmodel(args) -> int:
+    """Calibrate/validate the analytical fast model; see docs/PERFORMANCE.md."""
+    if args.action == "calibrate":
+        from repro.fastmodel.calibrate import main
+    else:
+        from repro.fastmodel.validate import main
+    return main(args.rest)
 
 
 def cmd_chaos(args) -> int:
@@ -601,6 +651,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every point and write one merged Chrome trace "
         "(bypasses the sweep cache)",
     )
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="answer from the calibrated analytical model instead of "
+        "simulating (see docs/PERFORMANCE.md, 'two-speed mode')",
+    )
     run.set_defaults(func=cmd_run)
 
     reproduce = sub.add_parser(
@@ -661,6 +717,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"cache root (default .repro_cache/sweeps, or ${CACHE_ENV})",
     )
     sweep.add_argument("--csv", help="also write raw rows to this CSV file")
+    sweep.add_argument(
+        "--fast",
+        action="store_true",
+        help="answer every point from the calibrated analytical model "
+        "instead of simulating; fast results are cached under their "
+        "own keys and never alias exact ones",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     profile = sub.add_parser(
@@ -689,6 +752,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a baseline JSON; exit 1 on regression",
     )
     profile.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="print per-benchmark wall-time deltas against a baseline "
+        "JSON (informational; never fails)",
+    )
+    profile.add_argument(
         "--max-regression",
         type=float,
         default=2.0,
@@ -700,6 +769,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one benchmark under cProfile and print the top 25",
     )
     profile.set_defaults(func=cmd_profile)
+
+    fastmodel = sub.add_parser(
+        "fastmodel",
+        help="calibrate or differentially validate the analytical "
+        "fast model (mode='fast')",
+    )
+    fastmodel.add_argument(
+        "action",
+        choices=("calibrate", "validate"),
+        help="calibrate: pin the model to simulator runs; validate: "
+        "check predictions against fresh simulator runs",
+    )
+    fastmodel.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments for the action (try 'fastmodel validate -- --help')",
+    )
+    fastmodel.set_defaults(func=cmd_fastmodel)
 
     chaos = sub.add_parser(
         "chaos",

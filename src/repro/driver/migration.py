@@ -12,6 +12,8 @@ from typing import Generator, Iterable, List, Sequence
 
 from typing import Optional
 
+import numpy as np
+
 from repro.driver.va_block import VaBlock
 from repro.engine.core import Environment
 from repro.engine.resources import Resource
@@ -33,6 +35,26 @@ def coalesce_spans(blocks: Iterable[VaBlock]) -> List[List[VaBlock]]:
     move as separate single-block commands.
     """
     ordered = sorted(blocks, key=lambda b: b.index)
+    if len(ordered) >= 32:
+        # Vectorized run detection: a new span starts wherever the index
+        # gap is not exactly 1 or a split block borders the boundary.
+        # Output is identical to the scalar loop below.
+        indices = np.fromiter(
+            (b.index for b in ordered), dtype=np.int64, count=len(ordered)
+        )
+        split = np.fromiter(
+            (b.split for b in ordered), dtype=bool, count=len(ordered)
+        )
+        breaks = (
+            (np.diff(indices) != 1) | split[1:] | split[:-1]
+        ).nonzero()[0] + 1
+        spans = []
+        start = 0
+        for stop in breaks.tolist():
+            spans.append(ordered[start:stop])
+            start = stop
+        spans.append(ordered[start:])
+        return spans
     spans: List[List[VaBlock]] = []
     for block in ordered:
         if (
@@ -178,17 +200,51 @@ class MigrationEngine:
                 request = engine.request()
                 yield request
             env = self.env
+            link = self.link
             record = self.traffic.record
             on_transfer = self.rmt.on_transfer
             tracer = self.tracer
             try:
+                if len(blocks) == 1 and not tracer.enabled:
+                    # Single-block command (the eviction path emits these
+                    # constantly): skip the sort/coalesce machinery and,
+                    # fault-free, the _timed_command generator frame.
+                    # Identical wire time, traffic and RMT accounting.
+                    block = blocks[0]
+                    span_bytes = block.used_bytes
+                    chunk = (
+                        SMALL_PAGE
+                        if block.split
+                        else (span_bytes if span_bytes < BIG_PAGE else BIG_PAGE)
+                    )
+                    if link._armed_faults:
+                        yield from self._timed_command(link, span_bytes, chunk)
+                    else:
+                        yield env.timeout(
+                            link.transfer_time(span_bytes, chunk=chunk)
+                        )
+                    record(
+                        env.now,
+                        direction,
+                        span_bytes,
+                        reason,
+                        first_block=block.index,
+                        num_blocks=1,
+                    )
+                    on_transfer(block.index, span_bytes, direction, reason)
+                    return
                 for span in coalesce_spans(blocks):
                     span_bytes = sum(b.used_bytes for b in span)
                     chunk = (
                         SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
                     )
                     started = env.now if tracer.enabled else 0.0
-                    yield from self._timed_command(self.link, span_bytes, chunk)
+                    if link._armed_faults:
+                        yield from self._timed_command(link, span_bytes, chunk)
+                    else:
+                        yield env.timeout(
+                            link.transfer_time(span_bytes, chunk=chunk)
+                        )
                     if tracer.enabled:
                         self._trace_command(
                             f"link/{direction.value}",

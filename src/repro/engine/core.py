@@ -21,14 +21,39 @@ little uniformity for speed:
 - :meth:`Environment.timeout` recycles :class:`Timeout` objects through a
   small pool.  A timeout is recycled only when the run loop can prove it
   is unreferenced (``sys.getrefcount``), so holding on to a timeout and
-  inspecting it later remains safe.
+  inspecting it later remains safe,
+- plain :class:`Event` objects are recycled through a second arena under
+  the same refcount proof, so the succeed/resume churn of stores and
+  resources allocates nothing in steady state,
+- zero-delay events (the majority under contention: grants, store gets,
+  process bootstraps and completions) bypass the heap entirely via a
+  FIFO *now-queue*.  Ordering is unchanged: every event still carries a
+  global sequence number, and the pop rule compares ``(time, seq)``
+  across both structures, so the processed order is bit-identical to a
+  single-heap engine — the now-queue only removes the O(log n) sift
+  cost from events that could never sort before the current time.
+
+Both arenas live on the :class:`Environment` and are ordinary state to
+``deepcopy``, so a forked :class:`~repro.engine.snapshot.EngineSnapshot`
+inherits warm pools and keeps reusing them.
 """
 
 from __future__ import annotations
 
 import sys
+from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import SimulationError, SnapshotError
 
@@ -57,6 +82,9 @@ _PENDING = _PendingType()
 
 #: Upper bound on the per-environment pool of recycled Timeout objects.
 _TIMEOUT_POOL_LIMIT = 128
+
+#: Upper bound on the per-environment arena of recycled plain Events.
+_EVENT_POOL_LIMIT = 256
 
 
 class Event:
@@ -107,7 +135,13 @@ class Event:
             raise SimulationError("event already triggered")
         self._value = value
         self._scheduled = True
-        self.env._schedule(self)
+        # Inlined Environment._schedule(delay=0): firing an event is the
+        # hottest scheduling site, and a zero delay always lands on the
+        # now-queue.
+        env = self.env
+        sequence = env._sequence
+        env._sequence = sequence + 1
+        env._now_queue.append((sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -163,7 +197,7 @@ class Process(Event):
     ``yield env.process(child())`` work for fork/join composition.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
@@ -171,11 +205,17 @@ class Process(Event):
             raise TypeError(f"process needs a generator, got {generator!r}")
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method for the process's lifetime: every wait appends
+        # this callback, and binding it once avoids a fresh bound-method
+        # allocation per yield.
+        self._resume_cb = self._resume
         # Bootstrap: resume the generator at the current simulation time.
-        initial = Event(env)
+        # The bootstrap event comes from the arena — it dies as soon as
+        # the resume runs, so it is the single most-recycled event kind.
+        initial = env.event()
         initial._value = None
         initial._scheduled = True
-        initial.callbacks.append(self._resume)
+        initial.callbacks.append(self._resume_cb)
         env._schedule(initial)
 
     @property
@@ -190,14 +230,14 @@ class Process(Event):
             # Detach from whatever the process was waiting on, so the
             # original event cannot resume the process a second time.
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         interruption = Event(self.env)
         interruption._value = Interrupt(cause)
         interruption._exception = Interrupt(cause)
         interruption._scheduled = True
-        interruption.callbacks.append(self._resume)
+        interruption.callbacks.append(self._resume_cb)
         self.env._schedule(interruption)
 
     # Used as an event callback, hence the event-shaped signature.
@@ -227,6 +267,7 @@ class Process(Event):
         clone._scheduled = self._scheduled
         clone._generator = None
         clone._target = None
+        clone._resume_cb = clone._resume
         return clone
 
     def _resume(self, event: Event) -> None:
@@ -245,7 +286,10 @@ class Process(Event):
             except StopIteration as stop:
                 self._value = getattr(stop, "value", None)
                 self._scheduled = True
-                self.env._schedule(self)
+                env = self.env
+                sequence = env._sequence
+                env._sequence = sequence + 1
+                env._now_queue.append((sequence, self))
                 return
             except Interrupt:
                 # An uncaught interrupt terminates the process quietly.
@@ -261,16 +305,21 @@ class Process(Event):
                 self._scheduled = True
                 self.env._schedule(self)
                 return
-            if not isinstance(target, Event):
+            # Duck-typed Event check: one attribute load covers both the
+            # "is this an Event" validation (anything else has no
+            # ``callbacks`` and raises below) and the processed test.
+            try:
+                target_callbacks = target.callbacks
+            except AttributeError:
                 raise SimulationError(
-                    f"process yielded {target!r}; processes must yield Event "
-                    "instances"
-                )
-            if target.callbacks is None:
+                    f"process yielded {target!r}; processes must yield "
+                    "Event instances"
+                ) from None
+            if target_callbacks is None:
                 # Already processed: resume with its outcome immediately.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            target_callbacks.append(self._resume_cb)
             self._target = target
             return
 
@@ -307,14 +356,29 @@ class AllOf(Event):
 class Environment:
     """The simulation environment: virtual clock plus the event heap."""
 
-    __slots__ = ("_now", "_heap", "_sequence", "_timeout_pool", "_monitors",
-                 "_event_count")
+    __slots__ = ("_now", "_heap", "_buckets", "_now_queue", "_sequence",
+                 "_timeout_pool", "_event_pool", "_monitors", "_event_count")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Future events live in per-timestamp FIFO buckets; the heap
+        # orders only the *unique* timestamps.  Plain-float heap
+        # comparisons are ~3x cheaper than the classic (time, seq, event)
+        # tuple compares, and simultaneous events (very common: every
+        # config cost is a fixed constant, so co-scheduled processes
+        # collide on the same float) skip the sift entirely.  Within one
+        # bucket FIFO order *is* sequence order, because sequences are
+        # handed out monotonically.
+        self._heap: List[float] = []
+        self._buckets: Dict[float, List[Tuple[int, Event]]] = {}
+        # Zero-delay events in FIFO (= sequence) order.  Every entry was
+        # scheduled at the *current* simulation time, and the pop rule
+        # drains the queue before the clock may advance, so each entry's
+        # implicit timestamp is always ``self._now``.
+        self._now_queue: Deque[Tuple[int, Event]] = deque()
         self._sequence = 0
         self._timeout_pool: List[Timeout] = []
+        self._event_pool: List[Event] = []
         # Per-event observers, called after each processed event with
         # (env, event_count).  Kept as a plain list whose *binding* is
         # replaced on mutation, so an in-flight iteration in the run loop
@@ -359,14 +423,14 @@ class Environment:
     def quiescent(self) -> bool:
         """Whether no event is scheduled (nothing can happen without
         outside input) — the only state a snapshot may capture."""
-        return not self._heap
+        return not self._heap and not self._now_queue
 
     @property
     def heap_depth(self) -> int:
         """Number of scheduled events — the engine's backlog gauge,
         sampled by the metrics monitor.  Includes cancelled-but-unpopped
         heap entries, matching what the run loop actually holds."""
-        return len(self._heap)
+        return len(self._now_queue) + sum(map(len, self._buckets.values()))
 
     def advance(self, delta: float) -> None:
         """Jump the clock forward by ``delta`` seconds.
@@ -378,7 +442,7 @@ class Environment:
         """
         if delta < 0:
             raise ValueError(f"cannot advance time backwards: {delta}")
-        if self._heap:
+        if self._heap or self._now_queue:
             raise SimulationError(
                 "advance() with events on the heap would move scheduled "
                 "times into the past"
@@ -388,7 +452,16 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         sequence = self._sequence
         self._sequence = sequence + 1
-        heappush(self._heap, (self._now + delay, sequence, event))
+        if delay == 0.0:
+            self._now_queue.append((sequence, event))
+            return
+        time = self._now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(sequence, event)]
+            heappush(self._heap, time)
+        else:
+            bucket.append((sequence, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` seconds from now."""
@@ -397,17 +470,36 @@ class Environment:
             if delay < 0:
                 raise ValueError(f"negative timeout delay: {delay}")
             timeout = pool.pop()
-            timeout.callbacks = []
+            # Recycled entries carry a cleared callbacks list already.
             timeout._value = value
             timeout._exception = None
             timeout._scheduled = True
             timeout.delay = delay
-            self._schedule(timeout, delay=delay)
+            # Inlined _schedule: timeouts are the most-scheduled event.
+            sequence = self._sequence
+            self._sequence = sequence + 1
+            if delay == 0.0:
+                self._now_queue.append((sequence, timeout))
+            else:
+                time = self._now + delay
+                bucket = self._buckets.get(time)
+                if bucket is None:
+                    self._buckets[time] = [(sequence, timeout)]
+                    heappush(self._heap, time)
+                else:
+                    bucket.append((sequence, timeout))
             return timeout
         return Timeout(self, delay, value)
 
     def event(self) -> Event:
-        """Create a fresh pending event."""
+        """Create a fresh pending event (arena-recycled when possible)."""
+        pool = self._event_pool
+        if pool:
+            # Recycled entries were reset on their way into the arena
+            # (cleared callbacks list, pending value, no exception).
+            event = pool.pop()
+            event._scheduled = False
+            return event
         return Event(self)
 
     def process(self, generator: Generator) -> Process:
@@ -418,14 +510,52 @@ class Environment:
         """An event that fires once all ``events`` have fired."""
         return AllOf(self, events)
 
-    def step(self) -> None:
-        """Process the single next event on the heap."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        time, _seq, event = heappop(self._heap)
+    def _pop_next(self) -> Event:
+        """Remove and return the next event in ``(time, sequence)`` order.
+
+        The pop rule that makes the split heap/now-queue representation
+        behave exactly like one big heap: a heap entry wins only when its
+        timestamp has already been reached *and* its sequence number is
+        older than the now-queue head; otherwise the now-queue (implicit
+        timestamp ``self._now``) goes first.
+        """
+        nowq = self._now_queue
+        heap = self._heap
+        buckets = self._buckets
+        if nowq:
+            if (
+                heap
+                and heap[0] <= self._now
+                and buckets[heap[0]][0][0] < nowq[0][0]
+            ):
+                time = heap[0]
+                if time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {time} < {self._now}"
+                    )
+                bucket = buckets[time]
+                event = bucket.pop(0)[1]
+                if not bucket:
+                    heappop(heap)
+                    del buckets[time]
+                return event
+            return nowq.popleft()[1]
+        time = heap[0]
         if time < self._now:
             raise SimulationError(f"time went backwards: {time} < {self._now}")
+        bucket = buckets[time]
+        event = bucket.pop(0)[1]
+        if not bucket:
+            heappop(heap)
+            del buckets[time]
         self._now = time
+        return event
+
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        if not self._heap and not self._now_queue:
+            raise SimulationError("step() on an empty event heap")
+        event = self._pop_next()
         event._process_callbacks()
         self._event_count += 1
         if self._monitors:
@@ -441,31 +571,69 @@ class Environment:
         and whose value is returned.
         """
         heap = self._heap
+        nowq = self._now_queue
+        buckets = self._buckets
         pool = self._timeout_pool
+        arena = self._event_pool
         getrefcount = sys.getrefcount
+        pending = _PENDING
         if isinstance(until, Event):
             sentinel = until
             while sentinel.callbacks is not None:
-                if not heap:
+                if nowq:
+                    if (
+                        heap
+                        and heap[0] <= self._now
+                        and buckets[heap[0]][0][0] < nowq[0][0]
+                    ):
+                        time = heap[0]
+                        if time < self._now:
+                            raise SimulationError(
+                                f"time went backwards: {time} < {self._now}"
+                            )
+                        bucket = buckets[time]
+                        event = bucket.pop(0)[1]
+                        if not bucket:
+                            heappop(heap)
+                            del buckets[time]
+                    else:
+                        event = nowq.popleft()[1]
+                elif heap:
+                    time = heap[0]
+                    if time < self._now:
+                        raise SimulationError(
+                            f"time went backwards: {time} < {self._now}"
+                        )
+                    bucket = buckets[time]
+                    event = bucket.pop(0)[1]
+                    if not bucket:
+                        heappop(heap)
+                        del buckets[time]
+                    self._now = time
+                else:
                     raise SimulationError(
                         "simulation starved before the awaited event fired"
                     )
-                time, _seq, event = heappop(heap)
-                if time < self._now:
-                    raise SimulationError(
-                        f"time went backwards: {time} < {self._now}"
-                    )
-                self._now = time
                 callbacks = event.callbacks
                 event.callbacks = None  # type: ignore[assignment]
-                for callback in callbacks:
-                    callback(event)
-                if (
-                    type(event) is Timeout
-                    and len(pool) < _TIMEOUT_POOL_LIMIT
-                    and getrefcount(event) == 2
-                ):
-                    pool.append(event)
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                cls = type(event)
+                if cls is Timeout:
+                    if len(pool) < _TIMEOUT_POOL_LIMIT and getrefcount(event) == 2:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                elif cls is Event:
+                    if len(arena) < _EVENT_POOL_LIMIT and getrefcount(event) == 2:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = pending
+                        event._exception = None
+                        arena.append(event)
                 self._event_count += 1
                 if self._monitors:
                     count = self._event_count
@@ -475,27 +643,70 @@ class Environment:
                 raise sentinel._exception
             return sentinel._value
         deadline = float(until) if until is not None else None
-        while heap:
-            if deadline is not None and heap[0][0] > deadline:
-                self._now = deadline
-                return None
-            time, _seq, event = heappop(heap)
-            if time < self._now:
-                raise SimulationError(f"time went backwards: {time} < {self._now}")
-            self._now = time
+        while True:
+            if nowq:
+                if deadline is not None and self._now > deadline:
+                    self._now = deadline
+                    return None
+                if (
+                    heap
+                    and heap[0] <= self._now
+                    and buckets[heap[0]][0][0] < nowq[0][0]
+                ):
+                    time = heap[0]
+                    if time < self._now:
+                        raise SimulationError(
+                            f"time went backwards: {time} < {self._now}"
+                        )
+                    bucket = buckets[time]
+                    event = bucket.pop(0)[1]
+                    if not bucket:
+                        heappop(heap)
+                        del buckets[time]
+                else:
+                    event = nowq.popleft()[1]
+            elif heap:
+                time = heap[0]
+                if deadline is not None and time > deadline:
+                    self._now = deadline
+                    return None
+                if time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {time} < {self._now}"
+                    )
+                bucket = buckets[time]
+                event = bucket.pop(0)[1]
+                if not bucket:
+                    heappop(heap)
+                    del buckets[time]
+                self._now = time
+            else:
+                break
             callbacks = event.callbacks
             event.callbacks = None  # type: ignore[assignment]
-            for callback in callbacks:
-                callback(event)
-            # Recycle plain timeouts nobody references anymore: the only
-            # live references are the loop variable and getrefcount's
-            # argument, so reuse cannot be observed from outside.
-            if (
-                type(event) is Timeout
-                and len(pool) < _TIMEOUT_POOL_LIMIT
-                and getrefcount(event) == 2
-            ):
-                pool.append(event)
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            # Recycle events nobody references anymore: the only live
+            # references are the loop variable and getrefcount's
+            # argument, so reuse cannot be observed from outside.  Exact
+            # types only — subclasses (Process, Request, AllOf) carry
+            # extra state and stay garbage-collected.
+            cls = type(event)
+            if cls is Timeout:
+                if len(pool) < _TIMEOUT_POOL_LIMIT and getrefcount(event) == 2:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    pool.append(event)
+            elif cls is Event:
+                if len(arena) < _EVENT_POOL_LIMIT and getrefcount(event) == 2:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = pending
+                    event._exception = None
+                    arena.append(event)
             self._event_count += 1
             if self._monitors:
                 count = self._event_count

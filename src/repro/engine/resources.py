@@ -9,9 +9,10 @@ is an unbounded FIFO of items used for work queues between processes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List
+from sys import getrefcount
+from typing import Any, Deque, Generator, List, Optional
 
-from repro.engine.core import Environment, Event
+from repro.engine.core import Environment, Event, _PENDING
 from repro.errors import SimulationError
 
 
@@ -37,7 +38,7 @@ class Request(Event):
 class Resource:
     """A FIFO resource with ``capacity`` identical slots."""
 
-    __slots__ = ("env", "capacity", "name", "_queue", "_users")
+    __slots__ = ("env", "capacity", "name", "_queue", "_users", "_spare")
 
     def __init__(
         self, env: Environment, capacity: int = 1, name: "str | None" = None
@@ -50,6 +51,12 @@ class Resource:
         self.name = name
         self._queue: Deque[Request] = deque()
         self._users: List[Request] = []
+        # Released Request objects recycled by request()/try_acquire().
+        # Only requests whose sole remaining reference is the releasing
+        # holder's local are stashed (refcount check in release), so a
+        # recycled object can never be observed changing state by anyone
+        # still legitimately holding it.
+        self._spare: List[Request] = []
 
     @property
     def in_use(self) -> int:
@@ -63,7 +70,24 @@ class Resource:
 
     def request(self) -> Request:
         """Create a request for one slot; yields when granted."""
-        return Request(self)
+        # Inlined Request.__init__/_enqueue: under contention (queue
+        # non-empty or at capacity) the request just parks, so the
+        # constructor-chain and grant-scan cost would be pure overhead.
+        spare = self._spare
+        if spare:
+            request = spare.pop()
+        else:
+            request = Request.__new__(Request)
+            request.env = self.env
+            request.resource = self
+        request.callbacks = []
+        request._value = _PENDING
+        request._exception = None
+        request._scheduled = False
+        self._queue.append(request)
+        if len(self._users) < self.capacity:
+            self._grant_waiters()
+        return request
 
     def try_acquire(self) -> "Request | None":
         """Grant a slot synchronously if one is free, else return ``None``.
@@ -75,23 +99,53 @@ class Resource:
         """
         if self._queue or len(self._users) >= self.capacity:
             return None
-        granted = Request.__new__(Request)
-        granted.env = self.env
+        spare = self._spare
+        if spare:
+            granted = spare.pop()
+        else:
+            granted = Request.__new__(Request)
+            granted.env = self.env
+            granted.resource = self
         granted.callbacks = None  # born processed; waiters resume inline
         granted._value = granted
         granted._exception = None
         granted._scheduled = True
-        granted.resource = self
         self._users.append(granted)
         return granted
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot to the pool."""
+        users = self._users
         try:
-            self._users.remove(request)
+            users.remove(request)
         except ValueError:
             raise SimulationError("release() of a slot that was never granted")
-        self._grant_waiters()
+        # A release frees exactly one slot, so at most one waiter can be
+        # granted — inlined from _grant_waiters.
+        queue = self._queue
+        if queue and len(users) < self.capacity:
+            granted = queue.popleft()
+            users.append(granted)
+            granted._value = granted
+            granted._scheduled = True
+            env = granted.env
+            sequence = env._sequence
+            env._sequence = sequence + 1
+            env._now_queue.append((sequence, granted))
+        else:
+            # Uncontended release: recycle the request when the holder's
+            # local binding is its only remaining reference (4 == local +
+            # the _value self-reference every granted request carries +
+            # parameter + the getrefcount argument).  Engine-granted
+            # requests are still referenced by run-loop locals here and
+            # anything parked in AllOf lists or traces stays above the
+            # threshold, so only genuinely private objects enter the
+            # pool.  Contended releases skip the check outright — their
+            # requests came through the engine and never pass it.
+            spare = self._spare
+            if len(spare) < 8 and getrefcount(request) == 4:
+                request._value = None  # drop the self-reference
+                spare.append(request)
 
     def acquire(self, holder: Generator) -> Generator:
         """Run ``holder`` (a generator) while holding one slot.
@@ -119,10 +173,20 @@ class Resource:
             raise SimulationError("cancel() of a request that is not queued")
 
     def _grant_waiters(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            granted = self._queue.popleft()
-            self._users.append(granted)
-            granted.succeed(granted)
+        queue = self._queue
+        users = self._users
+        while queue and len(users) < self.capacity:
+            granted = queue.popleft()
+            users.append(granted)
+            # Inlined granted.succeed(granted): a queued request is never
+            # already triggered (cancel removes it from the queue), so the
+            # guard and the attribute dance of succeed() are pure cost.
+            granted._value = granted
+            granted._scheduled = True
+            env = granted.env
+            sequence = env._sequence
+            env._sequence = sequence + 1
+            env._now_queue.append((sequence, granted))
 
 
 class Store:
@@ -132,12 +196,17 @@ class Store:
     oldest item, blocking the caller until one is available.
     """
 
-    __slots__ = ("env", "_items", "_getters")
+    __slots__ = ("env", "_items", "_getters", "_spare")
 
     def __init__(self, env: Environment) -> None:
         self.env = env
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        # One recycled born-processed event for the item-available fast
+        # path of get().  Reused only once the previous getter's frame
+        # has dropped its reference (refcount check), so each consumer
+        # observes a normal one-shot event.
+        self._spare: Optional[Event] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -145,15 +214,43 @@ class Store:
     def put(self, item: Any) -> None:
         """Append ``item``, waking the oldest blocked getter if any."""
         if self._getters:
-            self._getters.popleft().succeed(item)
+            # Inlined .succeed(item): a queued getter cannot be triggered.
+            getter = self._getters.popleft()
+            getter._value = item
+            getter._scheduled = True
+            env = getter.env
+            sequence = env._sequence
+            env._sequence = sequence + 1
+            env._now_queue.append((sequence, getter))
         else:
             self._items.append(item)
 
     def get(self) -> Event:
-        """An event firing with the next item (immediately if available)."""
-        event = Event(self.env)
+        """An event firing with the next item (immediately if available).
+
+        When an item is already available the returned event is *born
+        processed* (like :meth:`Resource.try_acquire`): yielding it costs
+        one synchronous ``send`` and no heap traffic, and its ``value``
+        is readable immediately.  Only an empty store parks the getter on
+        a scheduled event.  FIFO fairness among getters is unaffected —
+        getters only ever queue when the store is empty.
+        """
+        env = self.env
         if self._items:
-            event.succeed(self._items.popleft())
-        else:
-            self._getters.append(event)
+            event = self._spare
+            if event is not None and getrefcount(event) == 2:
+                # 2 == self._spare + the getrefcount argument: the last
+                # getter is done with it.
+                event._value = self._items.popleft()
+                return event
+            event = Event.__new__(Event)
+            event.env = env
+            event.callbacks = None
+            event._value = self._items.popleft()
+            event._exception = None
+            event._scheduled = True
+            self._spare = event
+            return event
+        event = env.event()
+        self._getters.append(event)
         return event

@@ -1,0 +1,47 @@
+"""Calibrated analytical fast model of the simulator (``mode="fast"``).
+
+The discrete-event simulator answers one sweep point in tens of
+milliseconds to seconds; the fast model answers the same point in
+microseconds by evaluating closed forms instead of simulating events.
+Per (workload, system, link, gpu, scale, driver) *family*, the model
+stores transfer-byte and runtime curves calibrated against real
+simulator runs at a handful of anchor positions along the family's
+sweep axis (oversubscription ratio for the micro workloads, batch size
+for the DL trainers) and interpolates between them; at an anchor it
+reproduces the simulator's numbers exactly.
+
+Entry points:
+
+- :func:`predict_point` — the hook :func:`repro.harness.sweep.
+  execute_point` dispatches to for ``SweepPoint(mode="fast")``,
+- :class:`FastModel` / :func:`default_model` — the calibration store
+  (committed at ``src/repro/fastmodel/calibration.json``),
+- :mod:`repro.fastmodel.calibrate` — regenerate the calibration from
+  simulator runs (``python -m repro fastmodel calibrate``),
+- :mod:`repro.fastmodel.validate` — the differential harness CI runs
+  to check fast-model predictions against the simulator within the
+  declared tolerance (``python -m repro fastmodel validate``).
+
+Fast results live in a disjoint cache-key namespace: ``mode`` is part
+of the serialized point, so a fast outcome can never alias an exact
+simulation in the sweep cache or the experiment server, in either
+direction.
+"""
+
+from repro.fastmodel.model import (
+    DEFAULT_TOLERANCE,
+    FastModel,
+    FastModelError,
+    UncalibratedPointError,
+    default_model,
+    predict_point,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "FastModel",
+    "FastModelError",
+    "UncalibratedPointError",
+    "default_model",
+    "predict_point",
+]

@@ -1,0 +1,352 @@
+"""The analytical fast model: calibrated per-family closed forms.
+
+A *family* is every sweep-point input except the point's sweep axis —
+``(workload, system, link, gpu, scale, driver overrides, batches)``.
+Micro workloads sweep the oversubscription ratio; DL trainers sweep the
+batch size (their ``ratio`` field is ignored by the simulator, so the
+family key drops it).  Within a family the model keeps a sorted list of
+*anchors*: axis positions where the discrete-event simulator was
+actually run, together with its full result.
+
+Prediction evaluates closed forms anchored on those runs:
+
+- **transfer bytes** (total / H2D / D2H / redundant / useful) are
+  piecewise-linear in the axis.  Migration is block-granular, so over a
+  region with no policy phase change the moved bytes are an affine
+  function of the oversubscribed footprint (micro) or of the per-batch
+  activation set (DL); the anchors pin the affine pieces.
+- **runtime** follows the same piecewise form: simulated time is the
+  kernel/host critical path plus link occupancy, and occupancy is
+  bytes over a fixed effective bandwidth, so it inherits the byte
+  curves' shape.
+- **counters** (faults, migrations, evictions, ...) interpolate the
+  same way, rounded back to integers.
+
+At an anchor the prediction *is* the recorded simulator result —
+bit-for-bit — and between anchors the differential harness
+(:mod:`repro.fastmodel.validate`) bounds the interpolation error
+against fresh simulator runs within :attr:`FastModel.tolerance`.
+The model refuses to extrapolate outside its anchor range and refuses
+to bridge an out-of-memory boundary (one anchor OOM, the other not):
+both raise :class:`UncalibratedPointError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harness.results import ExperimentResult
+
+#: Schema version of the persisted calibration file.
+CALIBRATION_VERSION = 1
+
+#: Where :func:`default_model` looks for the committed calibration.
+DEFAULT_CALIBRATION_PATH = Path(__file__).with_name("calibration.json")
+
+#: Declared relative tolerance of interpolated predictions per result
+#: field, validated by :mod:`repro.fastmodel.validate` on every CI run.
+#: Anchored predictions are exact; these bounds cover midpoints between
+#: anchors.  ``redundant_gb`` gets extra slack because it is a small
+#: difference of two large byte counts for the discard systems.
+DEFAULT_TOLERANCE: Dict[str, float] = {
+    "elapsed_seconds": 0.10,
+    "traffic_gb": 0.10,
+    "traffic_h2d_gb": 0.10,
+    "traffic_d2h_gb": 0.15,
+    "redundant_gb": 0.25,
+    "useful_gb": 0.10,
+    "metric": 0.10,
+}
+
+#: Result fields interpolated as floats.
+_FLOAT_FIELDS = (
+    "elapsed_seconds",
+    "traffic_gb",
+    "traffic_h2d_gb",
+    "traffic_d2h_gb",
+    "redundant_gb",
+    "useful_gb",
+)
+
+
+class FastModelError(ConfigurationError):
+    """The fast model cannot answer; fall back to ``mode="exact"``."""
+
+
+class UncalibratedPointError(FastModelError):
+    """No calibration covers the requested point."""
+
+
+def family_key(point) -> Dict[str, object]:
+    """The calibration-family identity of ``point`` (axis excluded).
+
+    DL points drop ``ratio`` (the trainer ignores it) and micro points
+    drop ``batch_size`` (always ``None`` for them), so every point on
+    one sweep axis lands in the same family.
+    """
+    key: Dict[str, object] = {
+        "workload": point.workload,
+        "system": point.system,
+        "link": point.link,
+        "gpu": point.gpu,
+        "scale": point.scale,
+        "driver": [list(item) for item in point.driver],
+    }
+    if point.is_dl and point.batches is not None:
+        key["batches"] = point.batches
+    return key
+
+
+def _key_str(key: Mapping[str, object]) -> str:
+    return json.dumps(key, sort_keys=True)
+
+
+def axis_value(point) -> float:
+    """The point's position on its family's sweep axis."""
+    return float(point.batch_size) if point.is_dl else float(point.ratio)
+
+
+@dataclass
+class Anchor:
+    """One simulator run pinning the family's curves at axis ``x``.
+
+    ``result`` is the :meth:`ExperimentResult.to_dict` payload, or
+    ``None`` when the simulator reported out-of-memory at this anchor.
+    """
+
+    x: float
+    result: Optional[Dict[str, object]]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"x": self.x, "result": self.result}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Anchor":
+        result = data["result"]
+        if result is not None:
+            ExperimentResult.from_dict(result)  # validate shape early
+        return cls(x=float(data["x"]), result=result)  # type: ignore[arg-type]
+
+
+@dataclass
+class Family:
+    """Calibrated curves for one sweep family."""
+
+    key: Dict[str, object]
+    anchors: List[Anchor] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.anchors.sort(key=lambda a: a.x)
+
+    def add(self, anchor: Anchor) -> None:
+        self.anchors = [a for a in self.anchors if a.x != anchor.x]
+        self.anchors.append(anchor)
+        self.anchors.sort(key=lambda a: a.x)
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        return (self.anchors[0].x, self.anchors[-1].x)
+
+    def bracket(self, x: float) -> Tuple[Anchor, Anchor, float]:
+        """The anchors around ``x`` and the interpolation weight.
+
+        Returns ``(lo, hi, t)`` with ``t`` in ``[0, 1]``; an exact
+        anchor hit returns it twice with ``t = 0``.
+        """
+        lo_x, hi_x = self.span
+        if not lo_x <= x <= hi_x:
+            raise UncalibratedPointError(
+                f"axis value {x:g} is outside the calibrated range "
+                f"[{lo_x:g}, {hi_x:g}]; re-run calibration with wider "
+                "anchors (python -m repro fastmodel calibrate)"
+            )
+        for anchor in self.anchors:
+            if anchor.x == x:
+                return anchor, anchor, 0.0
+        hi = next(a for a in self.anchors if a.x > x)
+        lo = max((a for a in self.anchors if a.x < x), key=lambda a: a.x)
+        return lo, hi, (x - lo.x) / (hi.x - lo.x)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "anchors": [a.to_dict() for a in self.anchors],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Family":
+        return cls(
+            key=dict(data["key"]),  # type: ignore[arg-type]
+            anchors=[Anchor.from_dict(a) for a in data["anchors"]],  # type: ignore[union-attr]
+        )
+
+
+def _interpolate(
+    lo: Dict[str, object], hi: Dict[str, object], t: float, point
+) -> Dict[str, object]:
+    """Evaluate the family's closed forms at weight ``t`` between two
+    anchor results, relabelled for ``point``."""
+    out: Dict[str, object] = {
+        "system": point.system,
+        "config": point.config_label,
+    }
+    for name in _FLOAT_FIELDS:
+        a, b = float(lo[name]), float(hi[name])
+        out[name] = a + (b - a) * t
+    lo_metric, hi_metric = lo.get("metric"), hi.get("metric")
+    if lo_metric is None or hi_metric is None:
+        out["metric"] = None
+    else:
+        out["metric"] = float(lo_metric) + (float(hi_metric) - float(lo_metric)) * t
+    counters: Dict[str, int] = {}
+    lo_counters: Mapping[str, float] = lo.get("counters") or {}
+    hi_counters: Mapping[str, float] = hi.get("counters") or {}
+    for name in sorted(set(lo_counters) | set(hi_counters)):
+        a, b = float(lo_counters.get(name, 0)), float(hi_counters.get(name, 0))
+        counters[name] = round(a + (b - a) * t)
+    out["counters"] = counters
+    lo_dropped = float(lo.get("log_dropped", 0))
+    hi_dropped = float(hi.get("log_dropped", 0))
+    out["log_dropped"] = round(lo_dropped + (hi_dropped - lo_dropped) * t)
+    return out
+
+
+class FastModel:
+    """A calibration store that predicts :class:`ExperimentResult` rows."""
+
+    def __init__(
+        self, tolerance: Optional[Mapping[str, float]] = None
+    ) -> None:
+        self.families: Dict[str, Family] = {}
+        self.tolerance: Dict[str, float] = dict(tolerance or DEFAULT_TOLERANCE)
+
+    # -- calibration bookkeeping ----------------------------------------
+
+    def record(self, point, result: Optional[ExperimentResult]) -> None:
+        """Admit one simulator run as an anchor (``None`` = OOM)."""
+        key = family_key(point)
+        family = self.families.setdefault(_key_str(key), Family(key=key))
+        family.add(
+            Anchor(
+                x=axis_value(point),
+                result=None if result is None else result.to_dict(),
+            )
+        )
+
+    def family_for(self, point) -> Optional[Family]:
+        return self.families.get(_key_str(family_key(point)))
+
+    # -- prediction ------------------------------------------------------
+
+    def predict(self, point) -> Optional[ExperimentResult]:
+        """The fast-model answer for ``point``.
+
+        Returns ``None`` for a calibrated out-of-memory configuration
+        (mirroring :func:`~repro.harness.sweep.execute_point`), raises
+        :class:`UncalibratedPointError` when no calibration covers the
+        point, the axis value falls outside the anchor range, or the
+        bracketing anchors straddle an OOM boundary.
+        """
+        family = self.family_for(point)
+        if family is None or not family.anchors:
+            raise UncalibratedPointError(
+                f"no fast-model calibration for {point.label}; run "
+                "`python -m repro fastmodel calibrate` or use the exact "
+                f"simulator (calibrated families: {len(self.families)})"
+            )
+        lo, hi, t = family.bracket(axis_value(point))
+        if lo.result is None and hi.result is None:
+            return None
+        if lo.result is None or hi.result is None:
+            raise UncalibratedPointError(
+                f"{point.label}: anchors at {lo.x:g} and {hi.x:g} "
+                "straddle an out-of-memory boundary; calibrate a denser "
+                "grid around it"
+            )
+        if t == 0.0:
+            data = dict(lo.result)
+            data["system"] = point.system
+            data["config"] = point.config_label
+            return ExperimentResult.from_dict(data)
+        return ExperimentResult.from_dict(
+            _interpolate(lo.result, hi.result, t, point)
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "version": CALIBRATION_VERSION,
+            "tolerance": self.tolerance,
+            "families": [
+                self.families[key].to_dict() for key in sorted(self.families)
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FastModel":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise FastModelError(f"corrupt calibration file: {exc}") from None
+        if not isinstance(payload, dict):
+            raise FastModelError("corrupt calibration file: not an object")
+        if payload.get("version") != CALIBRATION_VERSION:
+            raise FastModelError(
+                f"calibration version {payload.get('version')!r} != "
+                f"{CALIBRATION_VERSION}; re-run "
+                "`python -m repro fastmodel calibrate`"
+            )
+        model = cls(tolerance=payload.get("tolerance"))
+        try:
+            for family_data in payload.get("families", []):
+                family = Family.from_dict(family_data)
+                model.families[_key_str(family.key)] = family
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FastModelError(f"corrupt calibration family: {exc}") from None
+        return model
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Path) -> "FastModel":
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise FastModelError(
+                f"cannot read fast-model calibration {path}: {exc}; run "
+                "`python -m repro fastmodel calibrate` to create it"
+            ) from None
+        return cls.from_json(text)
+
+
+_DEFAULT_MODEL: Optional[FastModel] = None
+
+
+def default_model() -> FastModel:
+    """The committed calibration, loaded once per process."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = FastModel.load(DEFAULT_CALIBRATION_PATH)
+    return _DEFAULT_MODEL
+
+
+def reset_default_model() -> None:
+    """Drop the cached default model (tests that swap the file)."""
+    global _DEFAULT_MODEL
+    _DEFAULT_MODEL = None
+
+
+def predict_point(point) -> Optional[ExperimentResult]:
+    """Answer one ``mode="fast"`` sweep point from the default model.
+
+    This is the hook :func:`repro.harness.sweep.execute_point`
+    dispatches to; it never simulates anything.
+    """
+    return default_model().predict(point)

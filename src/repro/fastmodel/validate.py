@@ -1,0 +1,252 @@
+"""Differential validation: fast model vs the discrete-event simulator.
+
+``python -m repro fastmodel validate`` (the CI ``fastmodel-validate``
+job) re-runs the simulator at a probe set spanning every fig5 DL
+workload and the micro workloads at multiple oversubscription ratios —
+anchor positions, where predictions must match exactly, and midpoints
+between anchors, where the interpolation error must stay inside the
+model's declared per-field tolerance.  Any drift in simulator semantics
+therefore fails CI here first, with a message to re-run
+``python -m repro fastmodel calibrate``.
+
+The harness also measures the speedup — wall time of the exact
+simulator runs over wall time of the corresponding predictions — and
+can gate on a floor (``--min-speedup``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.fastmodel.model import FastModel, default_model
+
+#: Absolute slack added to every relative bound, so fields that are
+#: exactly zero in the simulator (e.g. D2H traffic of a read-only
+#: workload) compare clean against a zero prediction.
+ABSOLUTE_SLACK = 1e-9
+
+
+@dataclass
+class Deviation:
+    """One field of one probe point, compared fast-vs-exact."""
+
+    label: str
+    field: str
+    fast: float
+    exact: float
+    tolerance: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.fast - self.exact)
+
+    @property
+    def bound(self) -> float:
+        return self.tolerance * abs(self.exact) + ABSOLUTE_SLACK
+
+    @property
+    def ok(self) -> bool:
+        return self.error <= self.bound
+
+    def __str__(self) -> str:
+        rel = self.error / abs(self.exact) if self.exact else float("inf")
+        return (
+            f"{self.label}: {self.field} fast={self.fast:.6g} "
+            f"exact={self.exact:.6g} (rel err {rel:.2%}, "
+            f"tolerance {self.tolerance:.0%})"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Everything the differential harness measured."""
+
+    deviations: List[Deviation] = field(default_factory=list)
+    #: Points where one side reported OOM and the other did not.
+    oom_mismatches: List[str] = field(default_factory=list)
+    probes: int = 0
+    exact_seconds: float = 0.0
+    fast_seconds: float = 0.0
+
+    @property
+    def failures(self) -> List[Deviation]:
+        return [d for d in self.deviations if not d.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.oom_mismatches
+
+    @property
+    def speedup(self) -> float:
+        if self.fast_seconds <= 0:
+            return float("inf")
+        return self.exact_seconds / self.fast_seconds
+
+    def summary(self) -> str:
+        worst = max(
+            (
+                d.error / (abs(d.exact) or 1.0)
+                for d in self.deviations
+            ),
+            default=0.0,
+        )
+        return (
+            f"{self.probes} probes, {len(self.deviations)} field "
+            f"comparisons, {len(self.failures)} out of tolerance, "
+            f"{len(self.oom_mismatches)} OOM mismatches; worst relative "
+            f"error {worst:.3%}; fast model {self.speedup:,.0f}x faster "
+            f"({self.exact_seconds:.2f}s simulated vs "
+            f"{self.fast_seconds * 1e3:.2f}ms predicted)"
+        )
+
+
+def default_probe_points(scale: float = 0.125) -> List["SweepPoint"]:
+    """Anchors and midpoints spanning every fig5 workload + the micros.
+
+    Per DL network and system: the smallest and largest paper batch
+    sizes (anchor hits — must be exact) and an off-grid batch between
+    the first two (interpolation).  Per micro workload and system: the
+    2.0x anchor and the 2.25x / 3.75x midpoints (two oversubscription
+    ratios off the anchor grid, one inside hashjoin's knee region).
+    """
+    from repro.harness.sweep import DL_BATCH_GRID, MICRO_WORKLOADS, SweepPoint
+
+    from repro.fastmodel.calibrate import DEFAULT_SYSTEMS
+
+    points: List[SweepPoint] = []
+    for network, batches in sorted(DL_BATCH_GRID.items()):
+        probe_batches = (
+            batches[0],
+            (batches[0] + batches[1]) // 2,  # off-grid: interpolated
+            batches[-1],
+        )
+        for system in DEFAULT_SYSTEMS:
+            for batch_size in probe_batches:
+                points.append(
+                    SweepPoint(
+                        workload=f"dl:{network}",
+                        system=system,
+                        batch_size=batch_size,
+                        scale=scale,
+                    )
+                )
+    for workload in MICRO_WORKLOADS:
+        for system in DEFAULT_SYSTEMS:
+            for ratio in (2.0, 2.25, 3.75):
+                points.append(
+                    SweepPoint(
+                        workload=workload, system=system, ratio=ratio,
+                        scale=scale,
+                    )
+                )
+    return points
+
+
+def validate(
+    model: FastModel,
+    points: Iterable["SweepPoint"],
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Compare ``model.predict`` with fresh simulator runs at ``points``."""
+    from repro.harness.sweep import run_sweep
+
+    points = list(points)
+    report = ValidationReport(probes=len(points))
+
+    started = time.perf_counter()
+    predictions = [model.predict(point) for point in points]
+    report.fast_seconds = time.perf_counter() - started
+
+    started = time.monotonic()
+    sweep = run_sweep(points, jobs=jobs, progress=progress)
+    report.exact_seconds = time.monotonic() - started
+
+    for point, fast, exact in zip(points, predictions, sweep.results):
+        if (fast is None) != (exact is None):
+            side = "fast" if fast is None else "simulator"
+            report.oom_mismatches.append(
+                f"{point.label}: only the {side} side reported OOM"
+            )
+            continue
+        if fast is None or exact is None:
+            continue
+        fast_dict, exact_dict = fast.to_dict(), exact.to_dict()
+        for name, tolerance in sorted(model.tolerance.items()):
+            fast_value, exact_value = fast_dict.get(name), exact_dict.get(name)
+            if fast_value is None and exact_value is None:
+                continue
+            report.deviations.append(
+                Deviation(
+                    label=point.label,
+                    field=name,
+                    fast=float(fast_value or 0.0),
+                    exact=float(exact_value or 0.0),
+                    tolerance=tolerance,
+                )
+            )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fastmodel validate",
+        description="Differentially validate fast-model predictions "
+        "against the discrete-event simulator.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.125,
+        help="probe workload scale; must match the calibration scale "
+        "(default 0.125)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="simulator worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail unless the fast model beats the simulator by this "
+        "wall-clock factor (e.g. 100)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
+    args = parser.parse_args(argv)
+
+    model = default_model()
+    points = default_probe_points(scale=args.scale)
+    report = validate(
+        model,
+        points,
+        jobs=args.jobs,
+        progress=None if args.quiet else print,
+    )
+    print(report.summary())
+    for mismatch in report.oom_mismatches:
+        print(f"FASTMODEL OOM MISMATCH: {mismatch}", file=sys.stderr)
+    for deviation in report.failures:
+        print(f"FASTMODEL DRIFT: {deviation}", file=sys.stderr)
+    if not report.ok:
+        print(
+            "fast model disagrees with the simulator; if simulator "
+            "semantics changed intentionally, re-run "
+            "`python -m repro fastmodel calibrate`",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup is not None and report.speedup < args.min_speedup:
+        print(
+            f"FASTMODEL SPEEDUP: {report.speedup:.0f}x < required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

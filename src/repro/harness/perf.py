@@ -334,3 +334,38 @@ def check_regressions(
                 f"({base['wall_seconds']:.4f} s -> limit {limit:.4f} s)"
             )
     return failures
+
+
+def compare_results(
+    current: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+) -> str:
+    """Render per-benchmark wall-time deltas against a baseline.
+
+    One line per benchmark: baseline and current wall seconds, the
+    absolute delta, the percent change (negative = faster) and the
+    speedup factor.  Benchmarks present on only one side are listed as
+    such.  Informational only — gating lives in
+    :func:`check_regressions`.
+    """
+    names = sorted(set(current) | set(baseline))
+    width = max((len(n) for n in names), default=4)
+    lines = [
+        f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}"
+        f"  {'delta':>10}  {'change':>8}  {'speedup':>7}"
+    ]
+    for name in names:
+        entry, base = current.get(name), baseline.get(name)
+        if entry is None or base is None:
+            side = "baseline" if entry is None else "current"
+            lines.append(f"{name:<{width}}  (only in {side})")
+            continue
+        wall, ref = entry["wall_seconds"], base["wall_seconds"]
+        delta = wall - ref
+        percent = (delta / ref * 100.0) if ref else float("inf")
+        speedup = (ref / wall) if wall else float("inf")
+        lines.append(
+            f"{name:<{width}}  {ref:>9.4f}s  {wall:>9.4f}s"
+            f"  {delta:>+9.4f}s  {percent:>+7.1f}%  {speedup:>6.2f}x"
+        )
+    return "\n".join(lines)

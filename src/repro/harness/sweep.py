@@ -128,11 +128,27 @@ class SweepPoint:
     #: measured body only — setup prefixes stay chaos-free — so chaos
     #: points share prefix snapshots with fault-free ones.
     chaos: Tuple[Tuple[str, object], ...] = ()
+    #: ``"exact"`` simulates the point; ``"fast"`` answers it from the
+    #: calibrated analytical model (:mod:`repro.fastmodel`) without
+    #: simulating.  Serialized (and hashed into the cache key) only
+    #: when not ``"exact"``, so exact keys are unchanged and fast
+    #: results live in a disjoint cache namespace — the two can never
+    #: alias each other in either direction.
+    mode: str = "exact"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "system", _normalize_system(self.system))
         object.__setattr__(self, "driver", _normalize_driver(self.driver))
         object.__setattr__(self, "chaos", _normalize_driver(self.chaos))
+        if self.mode not in ("exact", "fast"):
+            raise ConfigurationError(
+                f"mode must be 'exact' or 'fast', got {self.mode!r}"
+            )
+        if self.mode == "fast" and self.chaos:
+            raise ConfigurationError(
+                "chaos points cannot use the analytical fast model; "
+                "fault injection needs the event-level simulator"
+            )
         if self.chaos:
             if System(self.system) is System.NO_UVM:
                 raise ConfigurationError(
@@ -207,6 +223,7 @@ class SweepPoint:
             f"{self.workload}/{self.system}/{self.link}/"
             f"{self.config_label}@x{self.scale:g}"
             f"{'+chaos' if self.chaos else ''}"
+            f"{'+fast' if self.mode == 'fast' else ''}"
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -224,13 +241,15 @@ class SweepPoint:
             data["batches"] = self.batches
         if self.chaos:
             data["chaos"] = dict(self.chaos)
+        if self.mode != "exact":
+            data["mode"] = self.mode
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SweepPoint":
         unknown = set(data) - {
             "workload", "system", "link", "ratio", "batch_size",
-            "scale", "gpu", "driver", "batches", "chaos",
+            "scale", "gpu", "driver", "batches", "chaos", "mode",
         }
         if unknown:
             raise ConfigurationError(f"unknown sweep-point keys: {sorted(unknown)}")
@@ -426,8 +445,18 @@ def _execute_chaos_point(
 
 
 def execute_point(point: SweepPoint) -> Optional[ExperimentResult]:
-    """Simulate one point; ``None`` when the configuration does not fit
-    (the paper's No-UVM OOM crash under oversubscription)."""
+    """Resolve one point; ``None`` when the configuration does not fit
+    (the paper's No-UVM OOM crash under oversubscription).
+
+    ``mode="exact"`` simulates; ``mode="fast"`` answers from the
+    calibrated analytical model without simulating (raising
+    :class:`~repro.fastmodel.FastModelError` when no calibration
+    covers the point).
+    """
+    if point.mode == "fast":
+        from repro.fastmodel import predict_point
+
+        return predict_point(point)
     system = System(point.system)
     gpu = _gpu_spec(point)
     link = _link(point)
@@ -477,6 +506,11 @@ def prefix_key(point: SweepPoint) -> Optional[Tuple]:
     (the injector installs per fork, after the shared prefix — setup is
     always simulated fault-free).
     """
+    if point.mode == "fast":
+        # Analytical points never simulate, so there is no prefix to
+        # share; keeping them out also steers the serve workers'
+        # snapshot pools onto the plain execute_point dispatch.
+        return None
     if System(point.system) is System.NO_UVM:
         return None
     overrides = dict(point.driver)
@@ -819,7 +853,12 @@ def run_sweep(
         done += 1
         if progress is not None:
             point = points[index]
-            suffix = "cached" if source == "cache" else "simulated"
+            if source == "cache":
+                suffix = "cached"
+            elif point.mode == "fast":
+                suffix = "predicted"
+            else:
+                suffix = "simulated"
             progress(f"[{done}/{total}] {suffix} {point.label}")
 
     pending: List[int] = []
@@ -837,6 +876,16 @@ def run_sweep(
         if cache is not None:
             cache.put(points[index], outcome)
         note(index, "run")
+
+    # Analytical fast-mode points resolve in microseconds; answer them
+    # inline instead of shipping them through the worker pool.
+    simulated_pending: List[int] = []
+    for index in pending:
+        if points[index].mode == "fast":
+            finish(index, _outcome_to_dict(execute_point(points[index])))
+        else:
+            simulated_pending.append(index)
+    pending = simulated_pending
 
     # Partition the misses into prefix-sharing groups.  Ungroupable
     # points (prefix_key None) and singleton groups run cold; each group

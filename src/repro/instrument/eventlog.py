@@ -78,7 +78,14 @@ class EventLog:
         self.enabled = enabled
         #: Entries evicted by the ring buffer since the last :meth:`clear`.
         self.dropped = 0
-        self._entries: Deque[LogEntry] = deque(maxlen=capacity)
+        # The ring holds raw (time, category, template, args) tuples;
+        # LogEntry objects are materialized lazily on read.  Appending a
+        # tuple is ~2x cheaper than constructing a LogEntry, and most
+        # entries are never read (or are dropped by the ring).
+        self._entries: Deque[Tuple[float, str, str, Tuple[Any, ...]]] = deque(
+            maxlen=capacity
+        )
+        self._maxlen = capacity
 
     @property
     def capacity(self) -> Optional[int]:
@@ -95,21 +102,25 @@ class EventLog:
         if not self.enabled:
             return
         entries = self._entries
-        if entries.maxlen is not None and len(entries) == entries.maxlen:
+        if len(entries) == self._maxlen:
             self.dropped += 1
-        entries.append(LogEntry(time, category, message, *args))
+        entries.append((time, category, message, args))
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[LogEntry]:
-        return iter(self._entries)
+        return (LogEntry(t, c, m, *a) for t, c, m, a in self._entries)
 
     def entries(self, category: Optional[str] = None) -> List[LogEntry]:
         """All retained entries, optionally filtered by category."""
         if category is None:
-            return list(self._entries)
-        return [e for e in self._entries if e.category == category]
+            return [LogEntry(t, c, m, *a) for t, c, m, a in self._entries]
+        return [
+            LogEntry(t, c, m, *a)
+            for t, c, m, a in self._entries
+            if c == category
+        ]
 
     def clear(self) -> None:
         self._entries.clear()

@@ -36,29 +36,20 @@ class TransferFate(enum.Enum):
     REDUNDANT = "redundant"
 
 
-class _Tracked:
-    __slots__ = ("nbytes", "direction", "reason", "fate")
-
-    def __init__(
-        self,
-        nbytes: int,
-        direction: TransferDirection,
-        reason: TransferReason,
-        fate: TransferFate = TransferFate.PENDING,
-    ) -> None:
-        self.nbytes = nbytes
-        self.direction = direction
-        self.reason = reason
-        self.fate = fate
-
-
 class RmtClassifier:
-    """Resolves per-block transfers to useful or redundant."""
+    """Resolves per-block transfers to useful or redundant.
+
+    A pending chain is stored as a plain list of byte counts: the
+    classification outcome depends only on the *bytes* of each hop, so
+    tracking direction/reason per hop (the original design) bought
+    nothing and cost one object allocation per block transfer on the
+    fault-service hot path.
+    """
 
     __slots__ = ("_pending", "useful_bytes", "redundant_bytes", "_finalized")
 
     def __init__(self) -> None:
-        self._pending: Dict[int, List[_Tracked]] = {}
+        self._pending: Dict[int, List[int]] = {}
         self.useful_bytes = 0
         self.redundant_bytes = 0
         self._finalized = False
@@ -74,32 +65,33 @@ class RmtClassifier:
         pending = self._pending
         chain = pending.get(block_index)
         if chain is None:
-            chain = pending[block_index] = []
-        chain.append(_Tracked(nbytes, direction, reason))
+            pending[block_index] = [nbytes]
+        else:
+            chain.append(nbytes)
 
     def on_read(self, block_index: int) -> None:
         """The program read the block's data: pending chain was necessary."""
         chain = self._pending.pop(block_index, None)
         if chain:
-            self.useful_bytes += sum(t.nbytes for t in chain)
+            self.useful_bytes += sum(chain)
 
     def on_overwrite(self, block_index: int) -> None:
         """The program fully overwrote the block before reading it."""
         chain = self._pending.pop(block_index, None)
         if chain:
-            self.redundant_bytes += sum(t.nbytes for t in chain)
+            self.redundant_bytes += sum(chain)
 
     def on_discard(self, block_index: int) -> None:
         """The program discarded the block: its data was dead."""
         chain = self._pending.pop(block_index, None)
         if chain:
-            self.redundant_bytes += sum(t.nbytes for t in chain)
+            self.redundant_bytes += sum(chain)
 
     def _resolve(self, block_index: int, fate: TransferFate) -> None:
         chain = self._pending.pop(block_index, None)
         if not chain:
             return
-        total = sum(t.nbytes for t in chain)
+        total = sum(chain)
         if fate is TransferFate.USEFUL:
             self.useful_bytes += total
         else:
@@ -116,9 +108,7 @@ class RmtClassifier:
     @property
     def pending_bytes(self) -> int:
         """Bytes of tracked transfers not yet resolved useful/redundant."""
-        return sum(
-            t.nbytes for chain in self._pending.values() for t in chain
-        )
+        return sum(sum(chain) for chain in self._pending.values())
 
     @property
     def classified_bytes(self) -> int:

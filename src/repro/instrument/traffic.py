@@ -51,10 +51,12 @@ class TrafficRecorder:
     def __init__(self, keep_records: bool = False) -> None:
         self._keep_records = keep_records
         self.records: List[TransferRecord] = []
-        self._by_direction: Dict[TransferDirection, int] = {
-            d: 0 for d in TransferDirection
-        }
-        self._by_reason: Dict[TransferReason, int] = {r: 0 for r in TransferReason}
+        # Keyed by the enum *values* (plain strings): enum members hash
+        # through a Python-level ``__hash__``, which showed up as one of
+        # the hottest frames in the fault-service profile.  Strings hash
+        # in C and cache the result.
+        self._by_direction: Dict[str, int] = {d.value: 0 for d in TransferDirection}
+        self._by_reason: Dict[str, int] = {r.value: 0 for r in TransferReason}
         self.transfer_count = 0
         #: Bytes moved by block-attributed transfers (``num_blocks > 0``),
         #: i.e. exactly the transfers the RMT classifier also tracks.
@@ -70,31 +72,39 @@ class TrafficRecorder:
         reason: TransferReason,
         first_block: Optional[int] = None,
         num_blocks: int = 0,
-    ) -> TransferRecord:
-        """Account one transfer; returns the (possibly unretained) record."""
+    ) -> Optional[TransferRecord]:
+        """Account one transfer; returns the record only when retained.
+
+        With ``keep_records=False`` (every benchmark run) no
+        :class:`TransferRecord` is constructed at all — the dataclass
+        ``__init__`` was pure overhead on the fault-service hot path.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        rec = TransferRecord(time, direction, nbytes, reason, first_block, num_blocks)
-        self._by_direction[direction] += nbytes
-        self._by_reason[reason] += nbytes
+        self._by_direction[direction._value_] += nbytes
+        self._by_reason[reason._value_] += nbytes
         self.transfer_count += 1
         if num_blocks > 0:
             self.block_bytes += nbytes
         if self._keep_records:
+            rec = TransferRecord(
+                time, direction, nbytes, reason, first_block, num_blocks
+            )
             self.records.append(rec)
-        return rec
+            return rec
+        return None
 
     @property
     def bytes_h2d(self) -> int:
-        return self._by_direction[TransferDirection.HOST_TO_DEVICE]
+        return self._by_direction[TransferDirection.HOST_TO_DEVICE.value]
 
     @property
     def bytes_d2h(self) -> int:
-        return self._by_direction[TransferDirection.DEVICE_TO_HOST]
+        return self._by_direction[TransferDirection.DEVICE_TO_HOST.value]
 
     @property
     def bytes_d2d(self) -> int:
-        return self._by_direction[TransferDirection.DEVICE_TO_DEVICE]
+        return self._by_direction[TransferDirection.DEVICE_TO_DEVICE.value]
 
     @property
     def total_bytes(self) -> int:
@@ -106,11 +116,11 @@ class TrafficRecorder:
         return to_gb(self.total_bytes)
 
     def bytes_for(self, reason: TransferReason) -> int:
-        return self._by_reason[reason]
+        return self._by_reason[reason.value]
 
     def breakdown(self) -> Dict[str, float]:
         """Per-reason traffic in GB, for reports."""
-        return {r.value: to_gb(n) for r, n in self._by_reason.items() if n}
+        return {r: to_gb(n) for r, n in self._by_reason.items() if n}
 
     def reset(self) -> None:
         self.records.clear()

@@ -81,6 +81,13 @@ class Link:
         #: the retry path without ever failing a transfer outright.
         #: ``None`` (the default) leaves consumption unbounded.
         self.fault_consumption_limit: Optional[int] = None
+        # Memoized transfer_time results keyed by (nbytes, chunk).  The
+        # driver moves the same span sizes over and over (whole 2 MiB
+        # blocks, the handful of partial-block sizes a workload uses), so
+        # this turns the float arithmetic into one dict hit.  Invalidated
+        # whenever the service state changes (degrade/restore are the
+        # only mutation points).
+        self._time_cache: dict = {}
 
     def degrade(self, factor: float, extra_latency: float = 0.0) -> None:
         """Enter a degraded service state.
@@ -94,11 +101,13 @@ class Link:
             raise ValueError(f"negative extra latency: {extra_latency}")
         self.degradation_factor = factor
         self.extra_latency = extra_latency
+        self._time_cache.clear()
 
     def restore(self) -> None:
         """Return to full-rate service (undo :meth:`degrade`)."""
         self.degradation_factor = 1.0
         self.extra_latency = 0.0
+        self._time_cache.clear()
 
     @property
     def degraded(self) -> bool:
@@ -136,17 +145,24 @@ class Link:
         ``chunk`` defaults to the full transfer size capped at 2 MiB — the
         granularity at which the UVM driver coalesces contiguous pages.
         """
+        cached = self._time_cache.get((nbytes, chunk))
+        if cached is not None:
+            return cached
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
         if nbytes == 0:
             return 0.0
+        key = (nbytes, chunk)
         if chunk is None:
             chunk = min(nbytes, BIG_PAGE) if nbytes < BIG_PAGE else BIG_PAGE
-        return (
+        seconds = (
             self.latency
             + self.extra_latency
             + nbytes / self.effective_bandwidth(chunk)
         )
+        if len(self._time_cache) < 4096:
+            self._time_cache[key] = seconds
+        return seconds
 
     def measured_throughput(self, nbytes: int, chunk: Optional[int] = None) -> float:
         """End-to-end bytes/second including latency — what Figure 4 plots."""

@@ -7,13 +7,33 @@ hardware limitation that forces `UvmDiscard` to *eagerly destroy* GPU
 mappings: clearing PTEs and invalidating GPU TLBs over the interconnect is
 what makes the eager implementation expensive, so this module meters those
 operations precisely.
+
+Two interchangeable residency representations live here:
+
+- :class:`PageTable` — the original set-of-indices table; kept as the
+  scalar reference implementation (``UvmDriverConfig.vectorized=False``
+  and the differential property tests select it).
+- :class:`BitmapPageTable` — a residency slab (``bytearray`` with one
+  byte per 2 MiB block at a sliding origin; byte-per-block measured
+  faster than bit-packing because scalar lookups need no shift/mask
+  arithmetic, and a byte per block is still ~30x denser than a set
+  entry) with the same scalar API plus NumPy-backed bulk
+  :meth:`~BitmapPageTable.map_blocks` / :meth:`~BitmapPageTable.unmap_blocks`
+  and a memcpy-cheap deepcopy, which is what makes engine snapshots fork
+  quickly.  Cost *accumulation order* in the bulk operations is the same
+  sequential per-block addition as the scalar loop, so simulated times
+  are bit-identical between the two implementations.
+
+:func:`make_page_table` selects one from the driver config knob.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
 
 from repro.errors import MappingError
 from repro.units import us
@@ -59,6 +79,9 @@ class PageTable:
         "processor",
         "costs",
         "_mapped",
+        "_map_cost",
+        "_unmap_cost",
+        "_unmap_tlb_cost",
         "map_count",
         "unmap_count",
         "tlb_invalidations",
@@ -71,6 +94,12 @@ class PageTable:
         # hottest query in the simulator, and a set membership test beats
         # a dict-of-enum lookup plus identity compare.
         self._mapped: Set[int] = set()
+        # Pre-summed per-operation costs; MappingCosts is fixed for the
+        # table's lifetime, and chasing three dataclass attributes per
+        # map/unmap showed up in the fault-service profile.
+        self._map_cost = self.costs.map_block + self.costs.batch_overhead
+        self._unmap_cost = self.costs.unmap_block
+        self._unmap_tlb_cost = self.costs.unmap_block + self.costs.tlb_invalidate
         self.map_count = 0
         self.unmap_count = 0
         self.tlb_invalidations = 0
@@ -104,7 +133,7 @@ class PageTable:
             )
         mapped.add(block_index)
         self.map_count += 1
-        return self.costs.map_block + self.costs.batch_overhead
+        return self._map_cost
 
     def unmap_block(self, block_index: int, invalidate_tlb: bool = True) -> float:
         """Destroy the 2 MiB mapping; returns the time cost in seconds.
@@ -118,17 +147,266 @@ class PageTable:
             raise MappingError(f"{self.processor}: block {block_index} not mapped")
         mapped.discard(block_index)
         self.unmap_count += 1
-        cost = self.costs.unmap_block
         if invalidate_tlb:
-            cost += self.tlb_invalidate()
-        return cost
+            self.tlb_invalidations += 1
+            return self._unmap_tlb_cost
+        return self._unmap_cost
 
     def tlb_invalidate(self) -> float:
         """Account one TLB invalidation; returns its time cost in seconds."""
         self.tlb_invalidations += 1
         return self.costs.tlb_invalidate
 
+    def map_blocks(self, indices: "Sequence[int]") -> float:
+        """Map every index in ``indices``; returns the summed time cost."""
+        cost = 0.0
+        for index in indices:
+            cost += self.map_block(index)
+        return cost
+
+    def unmap_blocks(
+        self, indices: "Sequence[int]", invalidate_tlb: bool = True
+    ) -> float:
+        """Unmap every index in ``indices``; returns the summed time cost."""
+        cost = 0.0
+        for index in indices:
+            cost += self.unmap_block(index, invalidate_tlb)
+        return cost
+
     def reset_counters(self) -> None:
         self.map_count = 0
         self.unmap_count = 0
         self.tlb_invalidations = 0
+
+
+#: Bulk operations switch to NumPy above this many indices; below it a
+#: plain Python loop over the bitmap wins (array creation overhead).
+_VECTOR_THRESHOLD = 32
+
+#: Bitmap slabs grow in whole bytes; keep the origin byte-aligned.
+_SLAB_ALIGN = 8
+
+
+class BitmapPageTable:
+    """Residency-slab page table: one byte per 2 MiB block.
+
+    Block indices are global (``va // BIG_PAGE`` of a 64-bit VA base), so
+    the slab covers ``[origin, origin + len(slab))`` and re-anchors lazily
+    on first use.  The driver's working sets are contiguous va ranges, so
+    the slab stays dense and small (one byte per block versus one ~32-byte
+    set entry per block), and ``deepcopy`` — the heart of
+    ``EngineSnapshot.fork()`` — degenerates to a bytearray copy.
+
+    A byte (not a bit) per block: scalar ``is_mapped``/``map_block`` are
+    the hottest driver operations, and byte indexing needs no Python-level
+    shift/mask arithmetic — measured faster than both bit-packing and the
+    set-based reference.  Bulk operations become plain NumPy fancy
+    indexing on the same buffer.
+    """
+
+    __slots__ = (
+        "processor",
+        "costs",
+        "_origin",
+        "_bits",
+        "_limit",
+        "_count",
+        "_map_cost",
+        "_unmap_cost",
+        "_unmap_tlb_cost",
+        "map_count",
+        "unmap_count",
+        "tlb_invalidations",
+    )
+
+    def __init__(self, processor: str, costs: Optional[MappingCosts] = None) -> None:
+        self.processor = processor
+        self.costs = costs or MappingCosts()
+        self._origin = 0  # re-anchored on first map while the slab is empty
+        self._bits = bytearray()
+        self._limit = 0  # == len(self._bits); cached for the hot range check
+        self._count = 0
+        self._map_cost = self.costs.map_block + self.costs.batch_overhead
+        self._unmap_cost = self.costs.unmap_block
+        self._unmap_tlb_cost = self.costs.unmap_block + self.costs.tlb_invalidate
+        self.map_count = 0
+        self.unmap_count = 0
+        self.tlb_invalidations = 0
+
+    # -- slab management -------------------------------------------------
+
+    def _ensure(self, index: int) -> int:
+        """Grow the slab to cover ``index``; returns the slab offset."""
+        if self._limit == 0:
+            # First touch anchors the slab (aligned so left growth pads
+            # whole aligned chunks).
+            self._origin = (index // _SLAB_ALIGN) * _SLAB_ALIGN
+            self._bits = bytearray(_SLAB_ALIGN)
+        origin = self._origin
+        if index < origin:
+            new_origin = (index // _SLAB_ALIGN) * _SLAB_ALIGN
+            self._bits = bytearray(origin - new_origin) + self._bits
+            self._origin = origin = new_origin
+        offset = index - origin
+        if offset >= len(self._bits):
+            self._bits.extend(bytes(offset + 1 - len(self._bits)))
+        self._limit = len(self._bits)
+        return offset
+
+    # -- scalar API (same contract as PageTable) -------------------------
+
+    def state(self, block_index: int) -> PteState:
+        if self.is_mapped(block_index):
+            return PteState.MAPPED
+        return PteState.UNMAPPED
+
+    def is_mapped(self, block_index: int) -> bool:
+        # _limit is 0 until the slab is anchored, so the range check alone
+        # also covers the unanchored state.
+        offset = block_index - self._origin
+        return 0 <= offset < self._limit and self._bits[offset] != 0
+
+    @property
+    def mapped_blocks(self) -> int:
+        return self._count
+
+    def mapped_indices(self) -> "frozenset[int]":
+        """Immutable snapshot of every mapped block index."""
+        if self._count == 0:
+            return frozenset()
+        arr = np.frombuffer(self._bits, dtype=np.uint8)
+        return frozenset((np.nonzero(arr)[0] + self._origin).tolist())
+
+    def map_block(self, block_index: int) -> float:
+        """Establish the 2 MiB mapping; returns the time cost in seconds."""
+        # In-slab fast path; _ensure only on first touch or growth.
+        offset = block_index - self._origin
+        if not 0 <= offset < self._limit:
+            offset = self._ensure(block_index)
+        bits = self._bits
+        if bits[offset]:
+            raise MappingError(
+                f"{self.processor}: block {block_index} is already mapped"
+            )
+        bits[offset] = 1
+        self._count += 1
+        self.map_count += 1
+        return self._map_cost
+
+    def unmap_block(self, block_index: int, invalidate_tlb: bool = True) -> float:
+        """Destroy the 2 MiB mapping; returns the time cost in seconds."""
+        offset = block_index - self._origin
+        if not 0 <= offset < self._limit or not self._bits[offset]:
+            raise MappingError(f"{self.processor}: block {block_index} not mapped")
+        self._bits[offset] = 0
+        self._count -= 1
+        self.unmap_count += 1
+        if invalidate_tlb:
+            self.tlb_invalidations += 1
+            return self._unmap_tlb_cost
+        return self._unmap_cost
+
+    def tlb_invalidate(self) -> float:
+        """Account one TLB invalidation; returns its time cost in seconds."""
+        self.tlb_invalidations += 1
+        return self.costs.tlb_invalidate
+
+    # -- bulk API --------------------------------------------------------
+
+    def map_blocks(self, indices: Sequence[int]) -> float:
+        """Map every index in ``indices``; returns the summed time cost.
+
+        Exactly equivalent to mapping one by one (same raise-on-mapped
+        semantics, same sequential cost accumulation) but the PTEs are
+        written in one vectorized pass for large batches.
+        """
+        n = len(indices)
+        if n == 0:
+            return 0.0
+        if n < _VECTOR_THRESHOLD:
+            cost = 0.0
+            for index in indices:
+                cost += self.map_block(index)
+            return cost
+        self._ensure(max(indices))
+        offsets = np.asarray(indices, dtype=np.int64) - self._origin
+        if offsets.min() < 0:
+            # A left-growth mixed into the batch: rare — take the loop.
+            cost = 0.0
+            for index in indices:
+                cost += self.map_block(index)
+            return cost
+        arr = np.frombuffer(self._bits, dtype=np.uint8)
+        if np.any(arr[offsets]) or np.unique(offsets).size != n:
+            # At least one index is already mapped (or duplicated inside
+            # the batch): replay scalar to raise on exactly the block the
+            # reference implementation would.
+            cost = 0.0
+            for index in indices:
+                cost += self.map_block(index)
+            return cost
+        arr[offsets] = 1
+        self._count += n
+        self.map_count += n
+        cost = 0.0
+        map_cost = self._map_cost
+        for _ in range(n):
+            cost += map_cost
+        return cost
+
+    def unmap_blocks(
+        self, indices: Sequence[int], invalidate_tlb: bool = True
+    ) -> float:
+        """Unmap every index in ``indices``; returns the summed time cost."""
+        n = len(indices)
+        if n == 0:
+            return 0.0
+        if n < _VECTOR_THRESHOLD or self._limit == 0:
+            cost = 0.0
+            for index in indices:
+                cost += self.unmap_block(index, invalidate_tlb)
+            return cost
+        offsets = np.asarray(indices, dtype=np.int64) - self._origin
+        if offsets.min() < 0 or offsets.max() >= self._limit:
+            cost = 0.0
+            for index in indices:
+                cost += self.unmap_block(index, invalidate_tlb)
+            return cost
+        arr = np.frombuffer(self._bits, dtype=np.uint8)
+        if not np.all(arr[offsets]) or np.unique(offsets).size != n:
+            cost = 0.0
+            for index in indices:
+                cost += self.unmap_block(index, invalidate_tlb)
+            return cost
+        arr[offsets] = 0
+        self._count -= n
+        self.unmap_count += n
+        if invalidate_tlb:
+            self.tlb_invalidations += n
+            per = self._unmap_tlb_cost
+        else:
+            per = self._unmap_cost
+        cost = 0.0
+        for _ in range(n):
+            cost += per
+        return cost
+
+    def reset_counters(self) -> None:
+        self.map_count = 0
+        self.unmap_count = 0
+        self.tlb_invalidations = 0
+
+
+#: Either implementation satisfies the same protocol.
+AnyPageTable = Union[PageTable, BitmapPageTable]
+
+
+def make_page_table(
+    processor: str,
+    costs: Optional[MappingCosts] = None,
+    vectorized: bool = True,
+) -> AnyPageTable:
+    """Select the page-table implementation from the driver config knob."""
+    if vectorized:
+        return BitmapPageTable(processor, costs)
+    return PageTable(processor, costs)

@@ -249,3 +249,58 @@ class TestServeSubprocess:
         time.sleep(0.1)
         process.send_signal(signal.SIGINT)
         assert process.wait(timeout=30) == 0
+
+
+class TestFastMode:
+    def test_run_fast_prints_full_tables(self, capsys):
+        assert main(["run", "fir", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "UvmDiscard" in out
+        assert "<100%" in out and "400%" in out
+
+    def test_run_fast_rejects_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["run", "fir", "--fast", "--trace", str(trace)]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_run_fast_uncalibrated_scale_exits_2(self, capsys):
+        assert main(["run", "fir", "--fast", "--scale", "0.017"]) == 2
+        assert "fast model unavailable" in capsys.readouterr().err
+
+    def test_sweep_fast_labels_points(self, tmp_path, capsys):
+        assert main([
+            "sweep",
+            "--workloads", "fir",
+            "--systems", "UvmDiscard",
+            "--ratios", "2.0,2.25",
+            "--fast",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "+fast" in out
+
+
+class TestProfileCompare:
+    def test_compare_prints_delta_table(self, capsys):
+        assert main([
+            "profile",
+            "--benchmarks", "engine_churn",
+            "--repeat", "1",
+            "--output", "",
+            "--compare", "benchmarks/perf/baseline.json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+        assert "engine_churn" in out
+        assert "speedup" in out
+
+    def test_compare_bad_baseline_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "nope.json"
+        assert main([
+            "profile",
+            "--benchmarks", "engine_churn",
+            "--repeat", "1",
+            "--output", "",
+            "--compare", str(bogus),
+        ]) == 2
+        assert "bad baseline" in capsys.readouterr().err
