@@ -79,4 +79,14 @@ def test_no_wall_time_regression(results, baseline):
 def test_sweep_prefix_speedup(results):
     """Shared-prefix forking + fast-forward must beat cold per-point
     execution by the margin the optimization exists for."""
-    assert results["sweep_prefix"]["speedup"] >= 1.5
+    assert results["sweep_prefix"]["speedup"] >= 3.0
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_PERF_STRICT") != "1",
+    reason="wall-clock gate is CI-only (REPRO_PERF_STRICT=1)",
+)
+def test_blob_fork_beats_deepcopy(results):
+    """The serialize-once blob transport must fork at least 2x faster
+    than the deepcopy it replaced (measured ~5-7x in practice)."""
+    assert results["snapshot_fork"]["fork_speedup"] >= 2.0

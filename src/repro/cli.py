@@ -277,6 +277,7 @@ def cmd_sweep(args) -> int:
             cache=cache,
             progress=print,
             snapshot_reuse=not args.no_snapshot_reuse,
+            blob_store_dir=args.blob_store,
         )
     except FastModelError as exc:
         print(f"fast model unavailable: {exc}", file=sys.stderr)
@@ -287,6 +288,12 @@ def cmd_sweep(args) -> int:
         f"\n{report.simulated} simulated, {report.cached} cached, "
         f"{report.wall_seconds:.2f} s wall"
     )
+    if report.blob_stats:
+        stats = report.blob_stats
+        print(
+            f"blob store: {stats['builds_distinct']} distinct prefixes, "
+            f"{stats['builds_total']} builds, {stats['bytes']} bytes shared"
+        )
     _report_log_dropped(
         [result for result in report.results if result is not None]
     )
@@ -346,6 +353,16 @@ def cmd_profile(args) -> int:
             return 2
         print(f"vs baseline {args.compare}:")
         print(compare_results(results, baseline))
+        # --compare is a gate, not just a report: a regression past
+        # --max-regression fails the run even without --check (or
+        # REPRO_PERF_STRICT), so CI cannot silently pass.
+        failures = check_regressions(
+            results, baseline, factor=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
     if args.check:
         try:
             baseline = load_bench_json(pathlib.Path(args.check).read_text())
@@ -549,6 +566,8 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             executor=args.executor,
             pool_bytes=args.pool_bytes,
+            blob_bytes=args.blob_bytes,
+            blob_dir=pathlib.Path(args.blob_dir) if args.blob_dir else None,
             queue_limit=args.queue_limit,
             rate=args.rate,
             burst=args.burst,
@@ -715,6 +734,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--cache-dir",
         help=f"cache root (default .repro_cache/sweeps, or ${CACHE_ENV})",
+    )
+    sweep.add_argument(
+        "--blob-store",
+        metavar="DIR",
+        help="shared snapshot blob-store directory for multi-job sweeps "
+        "(default: $REPRO_BLOB_STORE, else a temporary directory); a "
+        "named directory persists builds.log for build-count auditing",
     )
     sweep.add_argument("--csv", help="also write raw rows to this CSV file")
     sweep.add_argument(
@@ -917,6 +943,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=256 * 1024 * 1024,
         help="warm snapshot-pool byte budget per worker "
         "(default 256 MiB; 0 disables pooling)",
+    )
+    serve.add_argument(
+        "--blob-bytes",
+        type=int,
+        default=512 * 1024 * 1024,
+        help="host-shared blob-store byte budget for serialized prefix "
+        "snapshots (default 512 MiB; 0 disables cross-worker sharing)",
+    )
+    serve.add_argument(
+        "--blob-dir",
+        help="blob-store directory shared by the workers (default: a "
+        "per-server temporary directory, removed at shutdown)",
     )
     serve.add_argument(
         "--queue-limit",

@@ -62,8 +62,11 @@ class _PendingType:
     """Sentinel distinguishing "no value yet" from a legitimate ``None``.
 
     A dedicated class (instead of a bare ``object()``) so that deep
-    copies of snapshotted event graphs preserve *identity*: ``is``
-    checks against the sentinel must keep working in a forked run.
+    copies *and pickles* of snapshotted event graphs preserve
+    *identity*: ``is`` checks against the sentinel must keep working in
+    a forked run, whether the fork came from ``copy.deepcopy`` or from
+    the serialize-once blob transport
+    (:meth:`repro.engine.snapshot.EngineSnapshot.to_blob`).
     """
 
     __slots__ = ()
@@ -74,8 +77,17 @@ class _PendingType:
     def __deepcopy__(self, memo) -> "_PendingType":
         return self
 
+    def __reduce__(self):
+        # Unpickle to the module-level singleton, never a new instance.
+        return (_restore_pending, ())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<pending>"
+
+
+def _restore_pending() -> "_PendingType":
+    """Pickle target restoring the :data:`_PENDING` singleton."""
+    return _PENDING
 
 
 _PENDING = _PendingType()
@@ -269,6 +281,28 @@ class Process(Event):
         clone._target = None
         clone._resume_cb = clone._resume
         return clone
+
+    # Pickle parity with __deepcopy__: the serialize-once snapshot
+    # transport (EngineSnapshot.to_blob) pickles the live quiescent
+    # graph directly, so pickling must shed the exhausted generator the
+    # same way a deep copy does — and refuse live processes with the
+    # same SnapshotError instead of pickle's opaque TypeError.
+
+    def __getstate__(self):
+        if self.callbacks is not None:
+            raise SnapshotError(
+                "cannot pickle a live process; snapshots are only "
+                "legal at quiescence (empty event heap, every process "
+                "finished)"
+            )
+        return (self.env, self._value, self._exception, self._scheduled)
+
+    def __setstate__(self, state) -> None:
+        self.env, self._value, self._exception, self._scheduled = state
+        self.callbacks = None
+        self._generator = None
+        self._target = None
+        self._resume_cb = self._resume
 
     def _resume(self, event: Event) -> None:
         self._target = None

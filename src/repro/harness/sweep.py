@@ -56,6 +56,17 @@ CACHE_VERSION = 2
 #: Environment variable overriding the default on-disk cache location.
 CACHE_ENV = "REPRO_SWEEP_CACHE"
 
+#: Environment variable naming a shared :class:`~repro.engine.snapshot.
+#: BlobStore` directory for multi-process sweeps.  When set, the store
+#: (and its ``builds.log`` build counter) survives the sweep for
+#: inspection; otherwise a per-sweep temporary directory is used and
+#: cleaned up.
+BLOB_STORE_ENV = "REPRO_BLOB_STORE"
+
+#: Byte budget for each sweep worker's in-process snapshot pool (the
+#: zero-deserialization layer above the shared blob store).
+SWEEP_POOL_BYTES = 256 * 1024 * 1024
+
 #: The paper's per-network batch-size grids (Figures 5/6/7, §7.5).
 DL_BATCH_GRID: Dict[str, Tuple[int, ...]] = {
     "vgg16": (50, 75, 100, 125, 150),
@@ -572,7 +583,11 @@ def _point_plan(point: SweepPoint) -> Optional[_PointPlan]:
     )
 
 
-def execute_group(points: Sequence[SweepPoint]) -> List[Optional[ExperimentResult]]:
+def execute_group(
+    points: Sequence[SweepPoint],
+    pool=None,
+    blob_store=None,
+) -> List[Optional[ExperimentResult]]:
     """Simulate a group of points sharing one :func:`prefix_key`.
 
     The shared setup prefix is simulated once, snapshotted at its
@@ -581,25 +596,49 @@ def execute_group(points: Sequence[SweepPoint]) -> List[Optional[ExperimentResul
     are bit-for-bit identical to cold ones (``tests/test_snapshot_fork``
     pins that down), so this is purely a wall-clock optimization.  Any
     failure to establish the snapshot degrades to cold per-point runs.
+
+    ``pool`` (a :class:`~repro.engine.snapshot.SnapshotPool`) and
+    ``blob_store`` (a :class:`~repro.engine.snapshot.BlobStore`) widen
+    the reuse scope: the snapshot is resolved through the pool →
+    blob-store → build hierarchy, so sweep workers on one host share
+    each prefix build instead of repeating it.  With either set, even a
+    single-point group forks from the shared snapshot (that is the
+    whole point of splitting groups across workers).
     """
     from repro.driver.config import UvmDriverConfig
-    from repro.engine.snapshot import EngineSnapshot
-    from repro.errors import SnapshotError
+    from repro.engine.snapshot import resolve_prefix_snapshot
     from repro.harness.runner import run_uvm_body, run_uvm_prefix
 
     points = list(points)
     plans = [_point_plan(point) for point in points]
-    if len(points) < 2 or any(plan is None for plan in plans):
+    shared = pool is not None or blob_store is not None
+    if len(points) < (1 if shared else 2) or any(
+        plan is None for plan in plans
+    ):
         return [execute_point(point) for point in points]
-    try:
-        prefix_runtime = run_uvm_prefix(
-            plans[0].setup,
-            _gpu_spec(points[0]),
-            _link(points[0]),
-            driver_config=_driver_config(points[0]),
-        )
-        snapshot = EngineSnapshot(prefix_runtime)
-    except (OutOfMemoryError, SnapshotError):
+    key = prefix_key(points[0])
+    if key is None:
+        # Ungroupable points (fast mode, No-UVM, opted out) have no
+        # prefix to share at any scope.
+        if shared:
+            return [execute_point(point) for point in points]
+        pool = blob_store = None
+
+    def build():
+        try:
+            return run_uvm_prefix(
+                plans[0].setup,
+                _gpu_spec(points[0]),
+                _link(points[0]),
+                driver_config=_driver_config(points[0]),
+            )
+        except OutOfMemoryError:
+            return None
+
+    snapshot, _origin = resolve_prefix_snapshot(
+        key, build, pool=pool, store=blob_store
+    )
+    if snapshot is None:
         return [execute_point(point) for point in points]
     results: List[Optional[ExperimentResult]] = []
     for point, plan in zip(points, plans):
@@ -653,18 +692,51 @@ def _pool_worker(item: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[str, ob
     return index, _outcome_to_dict(execute_point(point))
 
 
+#: Per-worker-process snapshot pool, lazily built on first grouped work
+#: item.  Sits above the shared blob store: a worker that sees the same
+#: prefix twice forks from memory without touching disk.
+_SWEEP_WORKER_POOL = None
+
+
+def _sweep_worker_pool():
+    global _SWEEP_WORKER_POOL
+    if _SWEEP_WORKER_POOL is None:
+        from repro.engine.snapshot import SnapshotPool
+
+        _SWEEP_WORKER_POOL = SnapshotPool(SWEEP_POOL_BYTES)
+    return _SWEEP_WORKER_POOL
+
+
 def _pool_group_worker(
-    item: Tuple[Tuple[int, ...], Tuple[Dict[str, object], ...]]
+    item: Tuple[
+        Tuple[int, ...], Tuple[Dict[str, object], ...], Optional[str]
+    ]
 ) -> List[Tuple[int, Dict[str, object]]]:
-    """Top-level (picklable) worker: simulate one prefix-sharing group in
-    a subprocess.  Only plain dicts cross the process boundary —
-    snapshots are taken and forked entirely inside the worker."""
-    indices, point_dicts = item
+    """Top-level (picklable) worker: simulate one prefix-sharing group
+    (or one chunk of a split group) in a subprocess.  Only plain dicts
+    and the blob-store path cross the process boundary — snapshots are
+    resolved through the worker pool / shared blob store inside the
+    worker, so each prefix is built once per host."""
+    indices, point_dicts, store_dir = item
     points = [SweepPoint.from_dict(d) for d in point_dicts]
-    if len(points) == 1:
-        outcomes = [_outcome_to_dict(execute_point(points[0]))]
+    if store_dir is None:
+        if len(points) == 1:
+            outcomes = [_outcome_to_dict(execute_point(points[0]))]
+        else:
+            outcomes = [
+                _outcome_to_dict(result) for result in execute_group(points)
+            ]
     else:
-        outcomes = [_outcome_to_dict(result) for result in execute_group(points)]
+        from repro.engine.snapshot import BlobStore
+
+        outcomes = [
+            _outcome_to_dict(result)
+            for result in execute_group(
+                points,
+                pool=_sweep_worker_pool(),
+                blob_store=BlobStore(store_dir),
+            )
+        ]
     return list(zip(indices, outcomes))
 
 
@@ -789,6 +861,11 @@ class SweepReport:
     #: Per-point provenance: ``"cache"`` or ``"run"``.
     provenance: List[str]
     wall_seconds: float
+    #: Host-wide blob-store stats when the sweep shared prefix builds
+    #: across worker processes (entries/bytes/builds_total/
+    #: builds_distinct — see :meth:`BlobStore.stats`); ``None`` when the
+    #: sweep ran without a shared store.
+    blob_stats: Optional[Dict[str, object]] = None
 
     @property
     def cached(self) -> int:
@@ -824,6 +901,7 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
     snapshot_reuse: bool = True,
+    blob_store_dir: Optional[Union[str, Path]] = None,
 ) -> SweepReport:
     """Execute a batch of sweep points, using the cache and worker pool.
 
@@ -836,6 +914,17 @@ def run_sweep(
     once, and forks the remaining points from a snapshot (see
     :func:`execute_group`).  Reports are byte-identical with the knob
     on or off; ``False`` forces every point to run cold.
+
+    With ``jobs > 1``, multi-point prefix groups are additionally
+    *split across workers* and their snapshots shared through a
+    host-wide :class:`~repro.engine.snapshot.BlobStore` (serialize-once
+    transport): each distinct prefix is built by exactly one worker
+    process and every other worker forks from the published blob.
+    Chunks are dispatched prefix-affine — one leader chunk per prefix
+    first, follower chunks after — so followers land when their blob
+    is already hot.  ``blob_store_dir`` (or ``$REPRO_BLOB_STORE``)
+    names a persistent store directory; by default a per-sweep
+    temporary directory is used and removed afterwards.
     """
     if isinstance(points, SweepGrid):
         points = points.expand()
@@ -910,26 +999,70 @@ def run_sweep(
     else:
         groups = [[index] for index in pending]
 
-    if len(groups) > 1 and jobs > 1:
-        work = [
-            (
-                tuple(members),
-                tuple(points[index].to_dict() for index in members),
-            )
-            for members in groups
-        ]
-        with multiprocessing.Pool(processes=min(jobs, len(groups))) as pool:
-            for batch in pool.imap_unordered(_pool_group_worker, work):
-                for index, outcome in batch:
-                    finish(index, outcome)
-    else:
-        for members in groups:
-            if len(members) == 1:
-                index = members[0]
-                finish(index, _outcome_to_dict(execute_point(points[index])))
-            else:
-                group_results = execute_group([points[i] for i in members])
-                for index, result in zip(members, group_results):
-                    finish(index, _outcome_to_dict(result))
+    # With several jobs, split multi-point groups into per-worker chunks
+    # that share the prefix through a host-wide blob store instead of
+    # serializing the whole group onto one worker.  Chunks are ordered
+    # leaders-first (chunk rank 0 of every prefix, then rank 1, ...):
+    # imap dispatches in list order, so each prefix's single builder
+    # starts before its followers and the followers fork a hot blob.
+    units: List[List[int]] = groups
+    store_dir: Optional[str] = None
+    store_cleanup = None
+    if jobs > 1 and any(len(members) > 1 for members in groups):
+        explicit = blob_store_dir or os.environ.get(BLOB_STORE_ENV)
+        if explicit:
+            store_dir = str(explicit)
+        else:
+            import tempfile
 
-    return SweepReport(points, results, provenance, time.monotonic() - started)
+            store_cleanup = tempfile.TemporaryDirectory(prefix="repro-blobs-")
+            store_dir = store_cleanup.name
+        ranked: List[Tuple[int, List[int]]] = []
+        for members in groups:
+            parts = min(jobs, len(members)) if len(members) > 1 else 1
+            for rank in range(parts):
+                ranked.append((rank, members[rank::parts]))
+        ranked.sort(key=lambda item: item[0])
+        units = [chunk for _, chunk in ranked]
+
+    blob_stats: Optional[Dict[str, object]] = None
+    try:
+        if len(units) > 1 and jobs > 1:
+            work = [
+                (
+                    tuple(members),
+                    tuple(points[index].to_dict() for index in members),
+                    store_dir,
+                )
+                for members in units
+            ]
+            with multiprocessing.Pool(processes=min(jobs, len(units))) as pool:
+                for batch in pool.imap_unordered(_pool_group_worker, work):
+                    for index, outcome in batch:
+                        finish(index, outcome)
+        else:
+            for members in units:
+                if len(members) == 1:
+                    index = members[0]
+                    finish(
+                        index, _outcome_to_dict(execute_point(points[index]))
+                    )
+                else:
+                    group_results = execute_group([points[i] for i in members])
+                    for index, result in zip(members, group_results):
+                        finish(index, _outcome_to_dict(result))
+        if store_dir is not None:
+            from repro.engine.snapshot import BlobStore
+
+            blob_stats = BlobStore(store_dir).stats()
+    finally:
+        if store_cleanup is not None:
+            store_cleanup.cleanup()
+
+    return SweepReport(
+        points,
+        results,
+        provenance,
+        time.monotonic() - started,
+        blob_stats=blob_stats,
+    )

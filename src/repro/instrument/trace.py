@@ -109,6 +109,16 @@ class NullTracer:
     def __deepcopy__(self, memo: Dict[int, Any]) -> "NullTracer":
         return self
 
+    def __reduce__(self):
+        # Pickle parity with __deepcopy__: a blob-forked snapshot keeps
+        # pointing at the shared singleton instead of growing clones.
+        return (_restore_null_tracer, ())
+
+
+def _restore_null_tracer() -> "NullTracer":
+    """Pickle target restoring the :data:`NULL_TRACER` singleton."""
+    return NULL_TRACER
+
 
 NULL_TRACER = NullTracer()
 

@@ -28,6 +28,7 @@ import asyncio
 import itertools
 import json
 import signal
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -53,6 +54,14 @@ class ServeConfig:
     workers: int = 2
     executor: str = "process"  # "process" | "thread"
     pool_bytes: int = worker.DEFAULT_POOL_BYTES
+    #: Byte budget of the host-shared blob store of serialized prefix
+    #: snapshots (0 disables cross-worker prefix sharing).
+    blob_bytes: int = worker.DEFAULT_BLOB_BYTES
+    #: Blob-store directory; ``None`` = a per-server temporary
+    #: directory, removed at shutdown.  Only used by the process
+    #: executor unless set explicitly (thread workers already share
+    #: one in-process pool).
+    blob_dir: Optional[Path] = None
     queue_limit: int = 256
     rate: float = 0.0  # tokens/second per client; <= 0 disables
     burst: float = 20.0
@@ -73,6 +82,10 @@ class ServeConfig:
         if self.pool_bytes < 0:
             raise ConfigurationError(
                 f"--pool-bytes must be >= 0: {self.pool_bytes}"
+            )
+        if self.blob_bytes < 0:
+            raise ConfigurationError(
+                f"--blob-bytes must be >= 0: {self.blob_bytes}"
             )
         if self.rate > 0 and self.burst < 1:
             raise ConfigurationError(f"--burst must be >= 1: {self.burst}")
@@ -134,6 +147,7 @@ class ExperimentServer:
         self._job_tasks: List[asyncio.Task] = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor = None
+        self._blob_tmp = None
         self._started = time.monotonic()
         self._stop = asyncio.Event()
         #: Concurrently-open HTTP requests, and the high-water mark —
@@ -150,15 +164,25 @@ class ExperimentServer:
 
     async def start(self) -> None:
         config = self.config
+        blob_dir: Optional[str] = None
+        if config.blob_dir is not None:
+            blob_dir = str(config.blob_dir)
+        elif config.executor == "process" and config.blob_bytes > 0:
+            # Cross-worker prefix sharing needs a host directory; make
+            # a private one that dies with the server.  Thread workers
+            # already share one in-process pool, so they only get a
+            # store when one is named explicitly.
+            self._blob_tmp = tempfile.TemporaryDirectory(prefix="repro-blobs-")
+            blob_dir = self._blob_tmp.name
         if config.executor == "process":
             self._executor = ProcessPoolExecutor(
                 max_workers=config.workers,
                 initializer=worker.init_worker,
-                initargs=(config.pool_bytes,),
+                initargs=(config.pool_bytes, blob_dir, config.blob_bytes),
             )
         else:
             # Threads share one (thread-safe) pool in this process.
-            worker.init_worker(config.pool_bytes)
+            worker.init_worker(config.pool_bytes, blob_dir, config.blob_bytes)
             self._executor = ThreadPoolExecutor(max_workers=config.workers)
         self.scheduler = Scheduler(
             self._executor,
@@ -166,6 +190,7 @@ class ExperimentServer:
             self.cache,
             self.metrics,
             config.queue_limit,
+            workers=config.workers,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port
@@ -207,6 +232,9 @@ class ExperimentServer:
             await asyncio.gather(*self._job_tasks, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._blob_tmp is not None:
+            self._blob_tmp.cleanup()
+            self._blob_tmp = None
         return drained
 
     # -- HTTP plumbing ---------------------------------------------------
@@ -477,10 +505,36 @@ class ExperimentServer:
             if scheduler is not None
             else {}
         )
-        fork = registry.counters.get("serve/pool_fork")
-        cold = registry.counters.get("serve/pool_cold")
-        forks = fork.value if fork is not None else 0
-        colds = cold.value if cold is not None else 0
+        blob_stores = (
+            {str(pid): stats for pid, stats in sorted(scheduler.blob_stats.items())}
+            if scheduler is not None
+            else {}
+        )
+        # Per-process counters sum; host-wide disk truth (entries,
+        # bytes, builds) comes from the freshest worker snapshot.
+        blob_store: Optional[Dict[str, object]] = None
+        if blob_stores:
+            stats_list = list(blob_stores.values())
+            newest = max(stats_list, key=lambda s: s.get("builds_total", 0))
+            blob_store = {
+                key: sum(int(stats.get(key, 0)) for stats in stats_list)
+                for key in (
+                    "hits", "misses", "published", "evicted",
+                    "rejected_oversize", "lock_waits", "lock_steals",
+                    "wait_timeouts",
+                )
+            }
+            for key in ("entries", "bytes", "builds_total", "builds_distinct"):
+                blob_store[key] = newest.get(key, 0)
+
+        def _count(name: str) -> int:
+            counter = registry.counters.get(name)
+            return counter.value if counter is not None else 0
+
+        forks = _count("serve/pool_fork")
+        blobs = _count("serve/pool_blob")
+        colds = _count("serve/pool_cold")
+        warm = forks + blobs
         return {
             "counters": {
                 name: registry.counters[name].value
@@ -492,7 +546,9 @@ class ExperimentServer:
             },
             "histograms": histograms,
             "pools": pools,
-            "pool_hit_rate": forks / (forks + colds) if forks + colds else 0.0,
+            "blob_stores": blob_stores,
+            "blob_store": blob_store,
+            "pool_hit_rate": warm / (warm + colds) if warm + colds else 0.0,
             "queue": {
                 "outstanding": scheduler.outstanding if scheduler else 0,
                 "limit": self.config.queue_limit,
@@ -536,6 +592,7 @@ def serve_forever(config: ServeConfig, announce=None) -> int:
             f"serving on http://{config.host}:{server.port} "
             f"({config.executor} x{config.workers}, "
             f"pool {config.pool_bytes >> 20} MiB/worker, "
+            f"blob store {config.blob_bytes >> 20} MiB/host, "
             f"queue {config.queue_limit}, "
             f"cache {'on' if server.cache is not None else 'off'})",
             flush=True,

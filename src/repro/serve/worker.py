@@ -2,19 +2,24 @@
 
 Each worker (a process of the :class:`~concurrent.futures.
 ProcessPoolExecutor`, or the single shared state of the thread
-executor) owns one :class:`~repro.engine.snapshot.SnapshotPool`.  A
-request whose :func:`~repro.harness.sweep.prefix_key` is warm forks the
-quiesced snapshot and runs only the measured body; a cold request
-simulates the setup prefix once, admits its snapshot for future
-requests, and then runs the body **on a fork of that snapshot** — the
-exact split-phase protocol of
+executor) owns one :class:`~repro.engine.snapshot.SnapshotPool`, and
+all workers on a host share one file-backed
+:class:`~repro.engine.snapshot.BlobStore` of serialized prefix
+snapshots.  A request resolves its
+:func:`~repro.harness.sweep.prefix_key` through that hierarchy: a warm
+pool entry forks in-memory, a pool miss falls through to the shared
+store (one ``pickle.loads`` away — a prefix built by *any* worker is
+warm for all of them), and only a host-wide miss simulates the setup
+prefix, publishes its blob for the other workers, and admits it
+locally.  The measured body always runs **on a fork of the snapshot**
+— the exact split-phase protocol of
 :func:`~repro.harness.sweep.execute_group`, which
 ``tests/test_snapshot_fork.py`` pins byte-identical to a monolithic
 cold :func:`~repro.harness.sweep.execute_point` run.  Points without a
 prefix key (No-UVM, ``snapshot_reuse=False`` opt-outs) run unpooled.
 
 Everything crossing the process boundary is a plain dict: the point in,
-``{"outcome", "source", "pid", "pool"}`` out.
+``{"outcome", "source", "pid", "pool", "blob_store"}`` out.
 """
 
 from __future__ import annotations
@@ -22,27 +27,45 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Tuple
 
-from repro.engine.snapshot import EngineSnapshot, SnapshotPool
-from repro.errors import OutOfMemoryError, SnapshotError
+from repro.engine.snapshot import BlobStore, SnapshotPool
+from repro.errors import OutOfMemoryError
 
 #: Default per-worker snapshot-pool budget (bytes).
 DEFAULT_POOL_BYTES = 256 * 1024 * 1024
+
+#: Default host-wide blob-store budget (bytes).
+DEFAULT_BLOB_BYTES = BlobStore.DEFAULT_MAX_BYTES
 
 #: The worker's warm pool; ``None`` until :func:`init_worker` runs (or
 #: when pooling is disabled with a zero budget).
 _POOL: Optional[SnapshotPool] = None
 
+#: The host-shared blob store; ``None`` when cross-worker sharing is
+#: off (no directory configured, or a zero budget).
+_BLOB_STORE: Optional[BlobStore] = None
 
-def init_worker(pool_bytes: int = DEFAULT_POOL_BYTES) -> None:
-    """Executor initializer: create this worker's warm snapshot pool.
 
-    ``pool_bytes <= 0`` disables pooling (every request runs unpooled).
-    The process executor runs this once per worker process; the thread
+def init_worker(
+    pool_bytes: int = DEFAULT_POOL_BYTES,
+    blob_dir: Optional[str] = None,
+    blob_bytes: int = DEFAULT_BLOB_BYTES,
+) -> None:
+    """Executor initializer: create this worker's snapshot machinery.
+
+    ``pool_bytes <= 0`` disables the in-process pool; ``blob_dir=None``
+    or ``blob_bytes <= 0`` disables the cross-worker blob store.  The
+    process executor runs this once per worker process (every process
+    gets its own pool but shares the one store directory); the thread
     executor calls it once in the server process, so all threads share
     one (thread-safe) pool.
     """
-    global _POOL
+    global _POOL, _BLOB_STORE
     _POOL = SnapshotPool(pool_bytes) if pool_bytes > 0 else None
+    _BLOB_STORE = (
+        BlobStore(blob_dir, max_bytes=blob_bytes)
+        if blob_dir and blob_bytes > 0
+        else None
+    )
 
 
 def worker_pool() -> Optional[SnapshotPool]:
@@ -50,36 +73,50 @@ def worker_pool() -> Optional[SnapshotPool]:
     return _POOL
 
 
+def worker_blob_store() -> Optional[BlobStore]:
+    """This worker's view of the shared store (test hook)."""
+    return _BLOB_STORE
+
+
 def run_point(point_dict: Dict[str, object]) -> Dict[str, object]:
     """Top-level (picklable) worker entry: simulate one point.
 
-    Returns ``{"outcome": <outcome dict>, "source": "fork"|"cold"|
-    "unpooled", "pid": <worker pid>, "pool": <stats or None>}``.
+    Returns ``{"outcome": <outcome dict>, "source": "fork"|"blob"|
+    "cold"|"unpooled", "pid": <worker pid>, "pool": <stats or None>,
+    "blob_store": <stats or None>}``.
     """
     from repro.harness.sweep import SweepPoint
 
     point = SweepPoint.from_dict(point_dict)
-    outcome, source = execute_point_pooled(point, _POOL)
+    outcome, source = execute_point_pooled(point, _POOL, _BLOB_STORE)
     return {
         "outcome": outcome,
         "source": source,
         "pid": os.getpid(),
         "pool": _POOL.stats() if _POOL is not None else None,
+        "blob_store": (
+            _BLOB_STORE.stats() if _BLOB_STORE is not None else None
+        ),
     }
 
 
 def execute_point_pooled(
-    point, pool: Optional[SnapshotPool]
+    point,
+    pool: Optional[SnapshotPool],
+    store: Optional[BlobStore] = None,
 ) -> Tuple[Dict[str, object], str]:
-    """Simulate ``point``, forking from ``pool`` when its prefix is warm.
+    """Simulate ``point``, forking from the warm hierarchy when possible.
 
     Returns ``(outcome_dict, source)`` where ``source`` is ``"fork"``
-    (warm-pool hit), ``"cold"`` (prefix simulated here, snapshot
-    admitted for next time) or ``"unpooled"`` (no pool / no split-phase
-    plan).  The outcome dict is exactly what the sweep cache stores, so
-    served results compare byte-for-byte with ``repro run``.
+    (warm in-process pool hit), ``"blob"`` (forked a blob another
+    worker published), ``"cold"`` (prefix simulated here, snapshot
+    published/admitted for next time) or ``"unpooled"`` (no pool or
+    store / no split-phase plan).  The outcome dict is exactly what the
+    sweep cache stores, so served results compare byte-for-byte with
+    ``repro run``.
     """
     from repro.driver.config import UvmDriverConfig
+    from repro.engine.snapshot import resolve_prefix_snapshot
     from repro.harness.runner import run_uvm_body, run_uvm_prefix
     from repro.harness.sweep import (
         _driver_config,
@@ -92,34 +129,39 @@ def execute_point_pooled(
         prefix_key,
     )
 
-    key = prefix_key(point) if pool is not None else None
+    warm = pool is not None or store is not None
+    key = prefix_key(point) if warm else None
     plan = _point_plan(point) if key is not None else None
-    if pool is None or key is None or plan is None:
+    if key is None or plan is None:
         return _outcome_to_dict(execute_point(point)), "unpooled"
 
-    runtime = pool.fork(key)
-    source = "fork"
-    if runtime is None:
-        source = "cold"
+    oom_sentinel = []
+
+    def build():
         try:
-            prefix_runtime = run_uvm_prefix(
+            return run_uvm_prefix(
                 plan.setup,
                 _gpu_spec(point),
                 _link(point),
                 driver_config=_driver_config(point),
             )
         except OutOfMemoryError:
-            return {"status": "oom"}, source
-        try:
-            snapshot = EngineSnapshot(prefix_runtime)
-        except SnapshotError:
-            # A non-quiescent prefix cannot be pooled; degrade to the
-            # monolithic cold path (identical results, no reuse).
-            return _outcome_to_dict(execute_point(point)), "unpooled"
-        pool.admit(key, snapshot)
-        # Run the body on a fork (not the prefix runtime itself) so the
-        # cold path executes the same protocol as the warm path.
-        runtime = snapshot.fork()
+            oom_sentinel.append(True)
+            return None
+
+    snapshot, origin = resolve_prefix_snapshot(
+        key, build, pool=pool, store=store
+    )
+    if snapshot is None:
+        if oom_sentinel:
+            return {"status": "oom"}, "cold"
+        # A non-quiescent prefix cannot be pooled; degrade to the
+        # monolithic cold path (identical results, no reuse).
+        return _outcome_to_dict(execute_point(point)), "unpooled"
+    source = {"pool": "fork", "blob": "blob", "built": "cold"}[origin]
+    # Run the body on a fork (not the captured prefix itself) so cold,
+    # blob and warm paths all execute the same protocol.
+    runtime = snapshot.fork()
 
     runtime.driver.reconfigure(_driver_config(point) or UvmDriverConfig())
     injector = _install_chaos(runtime, point)
