@@ -21,6 +21,7 @@ and the discard directive's data semantics survive every perturbation:
 See ``docs/VALIDATION.md`` for the fault taxonomy and determinism rules.
 """
 
+from repro.chaos.catalog import CHAOS_WORKLOADS
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.runner import (
     ChaosRunReport,
@@ -32,6 +33,7 @@ from repro.chaos.schedule import ChaosConfig
 from repro.chaos.validator import OnlineValidator
 
 __all__ = [
+    "CHAOS_WORKLOADS",
     "ChaosConfig",
     "ChaosInjector",
     "ChaosRunReport",

@@ -1,0 +1,29 @@
+"""The chaos acceptance-suite workload catalog.
+
+Kept in a leaf module so the CLI can list the suite (help strings,
+``--workloads`` validation) without importing the runner's NumPy- and
+simulator-heavy dependency chain.
+
+The tuple's order is load-bearing: chaos input generation keys its NumPy
+generator on ``(seed, CHAOS_WORKLOADS.index(name))``, so entries must
+only ever be APPENDED — reordering or removing one silently changes
+every later workload's input data and therefore its golden digests.
+"""
+
+from __future__ import annotations
+
+#: The acceptance-suite workloads: the paper's three micro-benchmarks,
+#: one DL net, and the five UVMBench-style categories.
+CHAOS_WORKLOADS = (
+    "fir",
+    "radix",
+    "hashjoin",
+    "mlp",
+    "bfs",
+    "kmeans",
+    "knn",
+    "stencil",
+    "reduction",
+)
+
+__all__ = ["CHAOS_WORKLOADS"]

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chaos.catalog import CHAOS_WORKLOADS
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.schedule import ChaosConfig
 from repro.chaos.validator import OnlineValidator
@@ -32,10 +33,15 @@ from repro.cuda.runtime import CudaRuntime
 from repro.driver.config import UvmDriverConfig
 from repro.instrument.trace import TraceConfig, Tracer
 from repro.units import GB, MIB
-from repro.workloads.functional import functional_hash_join, functional_radix_sort
-
-#: The acceptance-suite workloads: FIR, radix sort, hash join, one DL net.
-CHAOS_WORKLOADS = ("fir", "radix", "hashjoin", "mlp")
+from repro.workloads.functional import (
+    functional_bfs,
+    functional_hash_join,
+    functional_kmeans,
+    functional_knn,
+    functional_radix_sort,
+    functional_reduction,
+    functional_stencil,
+)
 
 
 def trace_digest(runtime: CudaRuntime) -> str:
@@ -158,6 +164,63 @@ def _build_program(
             out["bytes"] = result.tobytes()
 
         return program, out, 20
+    if name == "bfs":
+        # ~11.5 MiB of CSR graph + frontiers on an 8 MiB GPU; the
+        # per-level frontier ping-pong churns through eviction.
+        num_nodes, degree = 1 << 17, 8
+        indptr = np.arange(0, num_nodes * degree + 1, degree, dtype=np.int64)
+        indices = rng.integers(0, num_nodes, size=num_nodes * degree).astype(
+            np.int64
+        )
+
+        def program(cuda: CudaRuntime):
+            result = yield from functional_bfs(cuda, indptr, indices, source=0)
+            out["bytes"] = result.tobytes()
+
+        return program, out, 8
+    if name == "kmeans":
+        # 8 MiB of points + assignments + scratch on an 8 MiB GPU.
+        points = rng.standard_normal((1 << 18, 4))
+        centroids = points[:8].copy()
+
+        def program(cuda: CudaRuntime):
+            cent, assign = yield from functional_kmeans(
+                cuda, points, centroids, iterations=3
+            )
+            out["bytes"] = cent.tobytes() + assign.tobytes()
+
+        return program, out, 8
+    if name == "knn":
+        # A 16 MiB distance scratch dominates a 10 MiB GPU; each batch
+        # rebuilds and discards it.
+        refs = rng.standard_normal((4096, 4))
+        queries = rng.standard_normal((2048, 4))
+
+        def program(cuda: CudaRuntime):
+            result = yield from functional_knn(
+                cuda, refs, queries, k=8, batches=4
+            )
+            out["bytes"] = result.tobytes()
+
+        return program, out, 10
+    if name == "stencil":
+        # Two 8 MiB ping-pong grids on a 10 MiB GPU.
+        grid = rng.standard_normal((1024, 1024))
+
+        def program(cuda: CudaRuntime):
+            result = yield from functional_stencil(cuda, grid, iterations=3)
+            out["bytes"] = result.tobytes()
+
+        return program, out, 10
+    if name == "reduction":
+        # 16 MiB of values + 2 MiB scratch on a 12 MiB GPU.
+        values = rng.standard_normal(1 << 21)
+
+        def program(cuda: CudaRuntime):
+            result = yield from functional_reduction(cuda, values, fanin=8)
+            out["bytes"] = result.tobytes()
+
+        return program, out, 12
     raise ValueError(
         f"unknown chaos workload {name!r}; expected one of {CHAOS_WORKLOADS}"
     )

@@ -40,12 +40,13 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.harness.runner import ratio_label
 from repro.harness.sweep import (
     CACHE_ENV,
     DL_BATCH_GRID,
+    MICRO_WORKLOADS,
     ResultCache,
     SweepGrid,
     SweepPoint,
@@ -68,6 +69,11 @@ EXPERIMENTS = {
     "fir": "FIR sliding-window filter (Tables 3/4)",
     "radix": "Radix-sort with irregular access (Tables 5/6)",
     "hashjoin": "GPU database hash-join (Tables 7/8)",
+    "bfs": "BFS graph traversal, UVMBench-style (docs/WORKLOADS.md)",
+    "kmeans": "k-means clustering, UVMBench-style (docs/WORKLOADS.md)",
+    "knn": "k-nearest-neighbor search, UVMBench-style (docs/WORKLOADS.md)",
+    "stencil": "2D Jacobi stencil, UVMBench-style (docs/WORKLOADS.md)",
+    "reduction": "Tree reduction, UVMBench-style (docs/WORKLOADS.md)",
     "dl:vgg16": "VGG-16 training sweep (Figures 5/6/7)",
     "dl:darknet19": "Darknet-19 training sweep (Figures 5/6/7)",
     "dl:resnet53": "ResNet-53 training sweep (Figures 3/5/6/7)",
@@ -552,6 +558,75 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_replay(args) -> int:
+    """Replay an access trace as a workload; see docs/WORKLOADS.md."""
+    from repro.workloads.replay import (
+        check_replay,
+        load_replay_trace,
+        per_buffer_transfer_totals,
+        replay_trace_to_csv,
+        run_replay,
+    )
+
+    try:
+        trace = load_replay_trace(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if args.convert:
+        out = pathlib.Path(args.convert)
+        if out.suffix == ".csv":
+            out.write_text(replay_trace_to_csv(trace))
+        else:
+            out.write_text(trace.to_json() + "\n")
+        print(
+            f"wrote replay trace ({len(trace.buffers)} buffers, "
+            f"{len(trace.ops)} ops) to {out}"
+        )
+        return 0
+    keep_records = args.per_buffer
+    try:
+        result, runtime = run_replay(trace, keep_transfer_records=keep_records)
+    except ReproError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    check = check_replay(trace, runtime)
+    if args.json:
+        payload = {
+            "meta": {k: v for k, v in trace.meta.items() if k != "expected"},
+            "ops": len(trace.ops),
+            "elapsed_seconds": result.elapsed_seconds,
+            "check": check,
+        }
+        if keep_records:
+            payload["per_buffer"] = per_buffer_transfer_totals(runtime)
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        meta = trace.meta
+        print(
+            f"replayed {meta.get('workload', '?')}/{meta.get('system', '?')} "
+            f"({len(trace.ops)} ops): {result.elapsed_seconds:.6f} s simulated"
+        )
+        actual = check["actual"]
+        print(
+            f"traffic: h2d={actual['bytes_h2d']} d2h={actual['bytes_d2h']} "
+            f"transfers={actual['transfer_count']}"
+        )
+        if keep_records:
+            for name, bucket in sorted(per_buffer_transfer_totals(runtime).items()):
+                print(f"  {name}: h2d={bucket['h2d']} d2h={bucket['d2h']}")
+        if check["checked"]:
+            verdict = "MATCH" if check["ok"] else "MISMATCH"
+            print(f"recorded totals: {verdict}")
+            if not check["ok"]:
+                print(f"  expected: {check['expected']}")
+                print(f"  actual:   {check['actual']}")
+    if args.check and not check["checked"]:
+        print("--check: trace carries no expected totals", file=sys.stderr)
+        return 2
+    return 0 if (check["ok"] or not args.check) else 1
+
+
 def cmd_serve(args) -> int:
     """Run the experiment server; see docs/SERVING.md."""
     from repro.serve.server import ServeConfig, serve_forever
@@ -699,8 +774,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--workloads",
-        help="comma list: fir,radix,hashjoin,dl:vgg16,dl:darknet19,"
-        "dl:resnet53,dl:rnn",
+        help="comma list: "
+        + ",".join(MICRO_WORKLOADS)
+        + ","
+        + ",".join(f"dl:{network}" for network in sorted(DL_BATCH_GRID)),
     )
     sweep.add_argument(
         "--systems",
@@ -822,9 +899,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--seed", type=int, default=0, help="master chaos seed (default 0)"
     )
+    from repro.chaos.catalog import CHAOS_WORKLOADS as _CHAOS_WORKLOADS
+
     chaos.add_argument(
         "--workloads",
-        help="comma list: fir,radix,hashjoin,mlp (default all four)",
+        help="comma list: "
+        + ",".join(_CHAOS_WORKLOADS)
+        + f" (default all {len(_CHAOS_WORKLOADS)})",
     )
     chaos.add_argument(
         "--cadence",
@@ -911,6 +992,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing trace file instead of running",
     )
     trace.set_defaults(func=cmd_trace)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay an access trace (a 'trace' export, or replay "
+        "JSON/CSV — see docs/WORKLOADS.md) as a workload",
+    )
+    replay.add_argument(
+        "trace",
+        help="trace file: a Chrome export from 'repro trace', or a "
+        "replay-schema JSON/CSV document",
+    )
+    replay.add_argument(
+        "--convert",
+        metavar="OUT",
+        help="convert to a standalone replay trace (.csv for the CSV "
+        "form, JSON otherwise) instead of running",
+    )
+    replay.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the replayed migration totals match "
+        "the totals recorded in the trace",
+    )
+    replay.add_argument(
+        "--per-buffer",
+        action="store_true",
+        help="keep per-transfer records and print per-buffer H2D/D2H totals",
+    )
+    replay.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    replay.set_defaults(func=cmd_replay)
 
     serve = sub.add_parser(
         "serve",

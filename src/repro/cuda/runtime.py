@@ -52,6 +52,7 @@ from repro.driver.config import UvmDriverConfig
 from repro.driver.driver import CPU, UvmDriver
 from repro.engine.core import Environment, Process
 from repro.errors import ConfigurationError, SimulationError
+from repro.gpu.access import IrregularPattern, SequentialPattern, StridedPattern
 from repro.gpu.executor import GpuExecutor
 from repro.instrument.trace import NULL_TRACER
 from repro.instrument.traffic import TransferDirection, TransferReason
@@ -59,6 +60,27 @@ from repro.interconnect.link import Link
 from repro.interconnect.pcie import pcie_gen4
 from repro.memsim.zeroing import ZeroFillModel
 from repro.vm.layout import AddressSpace, VaRange
+
+
+def _pattern_fields(pattern) -> Dict[str, object]:
+    """Serialize an access pattern for the ``program`` trace channel.
+
+    Covers the built-in pattern vocabulary; custom
+    :class:`~repro.gpu.access.AccessPattern` subclasses get their class
+    name as the kind (trace export still works; replay rejects kinds it
+    cannot reconstruct).
+    """
+    if isinstance(pattern, IrregularPattern):
+        return {
+            "kind": "irregular",
+            "passes": pattern.passes,
+            "seed": pattern.seed,
+        }
+    if isinstance(pattern, StridedPattern):
+        return {"kind": "strided"}
+    if isinstance(pattern, SequentialPattern):
+        return {"kind": "sequential"}
+    return {"kind": type(pattern).__name__}
 
 
 class CudaRuntime:
@@ -112,6 +134,9 @@ class CudaRuntime:
             "lazy": UvmDiscardLazy(self.driver),
         }
         self._buffer_counter = 0
+        #: Live managed allocations, in allocation order (see
+        #: :meth:`managed_buffers`).
+        self._managed: List[ManagedBuffer] = []
         #: Start of the measured region (see :meth:`begin_measurement`).
         self.measure_start = 0.0
         #: Scratch namespace for split-phase programs: a setup prefix
@@ -145,6 +170,35 @@ class CudaRuntime:
         self.driver.snapshot_precheck()
 
     # ------------------------------------------------------------------
+    # program-op trace channel
+    # ------------------------------------------------------------------
+
+    def _program_op(self, op: str, handle: Optional[Process] = None, **fields) -> None:
+        """Record one runtime-API call on the ``program`` track.
+
+        The channel is the replayable shadow of the host program: each
+        record carries the arguments :mod:`repro.workloads.replay` needs
+        to re-enqueue the op against a fresh runtime.  Callers guard on
+        ``self.tracer.enabled`` so untraced runs pay nothing.
+        """
+        record_id = self.tracer.instant(
+            "program", op, self.env.now, category="program", args=fields
+        )
+        if handle is not None:
+            self.tracer.note_op(handle, record_id)
+
+    @staticmethod
+    def _rng_fields(buffer: ManagedBuffer, rng: Optional[VaRange]):
+        """``(offset, length)`` of ``rng`` relative to the buffer start."""
+        if rng is None:
+            return 0, buffer.nbytes
+        return rng.start - buffer.va_range.start, rng.length
+
+    def managed_buffers(self) -> List[ManagedBuffer]:
+        """Live managed allocations, in allocation order."""
+        return [buffer for buffer in self._managed if not buffer.freed]
+
+    # ------------------------------------------------------------------
     # streams
     # ------------------------------------------------------------------
 
@@ -153,6 +207,8 @@ class CudaRuntime:
         stream = CudaStream(self.env, name or f"stream{len(self._streams)}")
         stream.tracer = self.tracer
         self._streams.append(stream)
+        if self.tracer.enabled:
+            self._program_op("stream", name=stream.name)
         return stream
 
     def streams(self) -> List[CudaStream]:
@@ -183,12 +239,22 @@ class CudaRuntime:
         va = self.address_space.allocate(nbytes)
         buffer = ManagedBuffer(name, va, array=array)
         self.driver.register_blocks(buffer.blocks)
+        self._managed.append(buffer)
+        if self.tracer.enabled:
+            self._program_op(
+                "malloc",
+                buffer=buffer.name,
+                nbytes=nbytes,
+                backed=array is not None,
+            )
         return buffer
 
     def free(self, buffer: ManagedBuffer) -> None:
         """`cudaFree` on managed memory: residency dropped, data dead."""
         if buffer.freed:
             raise SimulationError(f"double free of {buffer.name!r}")
+        if self.tracer.enabled:
+            self._program_op("free", buffer=buffer.name)
         self.driver.release_blocks(buffer.blocks)
         self.address_space.free(buffer.va_range)
         buffer.freed = True
@@ -200,6 +266,15 @@ class CudaRuntime:
     def _host_access(
         self, buffer: ManagedBuffer, mode: AccessMode, rng: Optional[VaRange]
     ) -> Generator:
+        if self.tracer.enabled:
+            offset, length = self._rng_fields(buffer, rng)
+            self._program_op(
+                "host_access",
+                buffer=buffer.name,
+                mode=mode.value,
+                offset=offset,
+                length=length,
+            )
         blocks = buffer.blocks_in(rng)
         yield from self.driver.make_resident_cpu(
             blocks, TransferReason.FAULT_MIGRATION, charge_faults=True
@@ -243,10 +318,23 @@ class CudaRuntime:
         if dest != CPU and dest not in self.driver.gpu_names():
             raise ConfigurationError(f"unknown prefetch destination {dest!r}")
         blocks = buffer.blocks_in(rng)
-        return self._stream(stream).enqueue(
+        target = self._stream(stream)
+        process = target.enqueue(
             lambda: self.driver.prefetch(blocks, dest),
             label=f"prefetch:{buffer.name}",
         )
+        if self.tracer.enabled:
+            offset, length = self._rng_fields(buffer, rng)
+            self._program_op(
+                "prefetch",
+                handle=process,
+                buffer=buffer.name,
+                dest=dest,
+                offset=offset,
+                length=length,
+                stream=target.name,
+            )
+        return process
 
     def discard_async(
         self,
@@ -271,10 +359,23 @@ class CudaRuntime:
             ) from None
         target = rng if rng is not None else buffer.va_range
         blocks = list(buffer.blocks)
-        return self._stream(stream).enqueue(
+        queue = self._stream(stream)
+        process = queue.enqueue(
             lambda: manager.discard_range(blocks, target),
             label=f"discard_{mode}:{buffer.name}",
         )
+        if self.tracer.enabled:
+            offset, length = self._rng_fields(buffer, rng)
+            self._program_op(
+                "discard",
+                handle=process,
+                buffer=buffer.name,
+                mode=mode,
+                offset=offset,
+                length=length,
+                stream=queue.name,
+            )
+        return process
 
     def launch(
         self,
@@ -288,9 +389,36 @@ class CudaRuntime:
             executor = self.executors[device or self.gpu.name]
         except KeyError:
             raise ConfigurationError(f"unknown device {device!r}") from None
-        return self._stream(stream).enqueue(
+        queue = self._stream(stream)
+        process = queue.enqueue(
             lambda: executor.run_kernel(kernel), label=kernel.name
         )
+        if self.tracer.enabled:
+            accesses = []
+            for acc in kernel.accesses:
+                offset, length = self._rng_fields(acc.buffer, acc.rng)
+                accesses.append(
+                    {
+                        "buffer": acc.buffer.name,
+                        "mode": acc.mode.value,
+                        "offset": offset,
+                        "length": length,
+                        "pattern": _pattern_fields(acc.pattern),
+                    }
+                )
+            self._program_op(
+                "kernel",
+                handle=process,
+                kernel=kernel.name,
+                duration=kernel.duration,
+                flops=kernel.flops,
+                waves=kernel.waves,
+                functional=kernel.fn is not None,
+                device=device or self.gpu.name,
+                stream=queue.name,
+                accesses=accesses,
+            )
+        return process
 
     def launch_raw(
         self,
@@ -314,7 +442,17 @@ class CudaRuntime:
             finally:
                 self.executor.sm_engine.release(request)
 
-        return self._stream(stream).enqueue(body, label=name)
+        queue = self._stream(stream)
+        process = queue.enqueue(body, label=name)
+        if self.tracer.enabled:
+            self._program_op(
+                "kernel_raw",
+                handle=process,
+                kernel=name,
+                duration=duration,
+                stream=queue.name,
+            )
+        return process
 
     # ------------------------------------------------------------------
     # explicit (No-UVM) memory management
@@ -351,12 +489,24 @@ class CudaRuntime:
         default GPU otherwise).
         """
         engines = self.driver._gpu(device or self.gpu.name).engines
-        return self._stream(stream).enqueue(
+        queue = self._stream(stream)
+        process = queue.enqueue(
             lambda: self.driver.migration.raw_transfer(
                 nbytes, direction, reason, engines
             ),
             label=f"memcpy_{direction.value}",
         )
+        if self.tracer.enabled:
+            self._program_op(
+                "memcpy",
+                handle=process,
+                direction=direction.value,
+                nbytes=nbytes,
+                reason=reason.value,
+                device=device or self.gpu.name,
+                stream=queue.name,
+            )
+        return process
 
     # ------------------------------------------------------------------
     # synchronization and top-level driving
@@ -364,6 +514,10 @@ class CudaRuntime:
 
     def synchronize(self, stream: Optional[CudaStream] = None) -> Generator:
         """`cudaStreamSynchronize` / `cudaDeviceSynchronize` (no stream)."""
+        if self.tracer.enabled:
+            self._program_op(
+                "sync", stream=None if stream is None else stream.name
+            )
         if stream is not None:
             yield from stream.synchronize()
         else:
@@ -395,6 +549,8 @@ class CudaRuntime:
         workloads call this after host-side data generation so
         :attr:`measured_seconds` reports GPU runtime only.
         """
+        if self.tracer.enabled:
+            self._program_op("measure")
         self.measure_start = self.env.now
 
     @property

@@ -120,6 +120,15 @@ class CudaStream:
         process handle (e.g. "kernel must not start before its window's
         prefetch finished").
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "program",
+                "wait",
+                self.env.now,
+                category="program",
+                args={"stream": self.name, "on": tracer.op_for(dependency)},
+            )
         self.enqueue(lambda: self._yield_one(dependency))
 
     @staticmethod

@@ -267,39 +267,46 @@ class MigrationEngine:
             finally:
                 engine.release(request)
             return
-        for span in coalesce_spans(blocks):
-            span_bytes = sum(b.used_bytes for b in span)
-            # §5.4: a block whose 2 MiB mapping was split moves in 4 KiB
-            # pieces — the higher-cost transfer the alignment policy
-            # exists to avoid.
-            chunk = SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
-            request = engine.request()
-            yield request
-            tracer = self.tracer
-            started = self.env.now if tracer.enabled else 0.0
-            try:
+        # Legacy per-span path.  The engine is still held for the whole
+        # batch: releasing it between spans would let a queued transfer
+        # (e.g. a prefetch) jump into the middle of a fault batch, which
+        # the batched path above never allows — the two modes must stay
+        # bit-for-bit identical (test_golden_trace_invariant_to_coalescing).
+        request = engine.request()
+        yield request
+        try:
+            for span in coalesce_spans(blocks):
+                span_bytes = sum(b.used_bytes for b in span)
+                # §5.4: a block whose 2 MiB mapping was split moves in
+                # 4 KiB pieces — the higher-cost transfer the alignment
+                # policy exists to avoid.
+                chunk = SMALL_PAGE if span[0].split else min(span_bytes, BIG_PAGE)
+                tracer = self.tracer
+                started = self.env.now if tracer.enabled else 0.0
                 yield from self._timed_command(self.link, span_bytes, chunk)
-            finally:
-                engine.release(request)
-            if tracer.enabled:
-                self._trace_command(
-                    f"link/{direction.value}",
-                    reason.value,
-                    started,
+                if tracer.enabled:
+                    self._trace_command(
+                        f"link/{direction.value}",
+                        reason.value,
+                        started,
+                        span_bytes,
+                        span[0].index,
+                        len(span),
+                    )
+                self.traffic.record(
+                    self.env.now,
+                    direction,
                     span_bytes,
-                    span[0].index,
-                    len(span),
+                    reason,
+                    first_block=span[0].index,
+                    num_blocks=len(span),
                 )
-            self.traffic.record(
-                self.env.now,
-                direction,
-                span_bytes,
-                reason,
-                first_block=span[0].index,
-                num_blocks=len(span),
-            )
-            for block in span:
-                self.rmt.on_transfer(block.index, block.used_bytes, direction, reason)
+                for block in span:
+                    self.rmt.on_transfer(
+                        block.index, block.used_bytes, direction, reason
+                    )
+        finally:
+            engine.release(request)
 
     def transfer_blocks_peer(
         self,
@@ -360,43 +367,46 @@ class MigrationEngine:
                 source_engines.d2h.release(out_request)
                 destination_engines.h2d.release(in_request)
             return
-        for span in coalesce_spans(blocks):
-            span_bytes = sum(b.used_bytes for b in span)
-            out_request = source_engines.d2h.request()
-            yield out_request
-            in_request = destination_engines.h2d.request()
-            yield in_request
-            tracer = self.tracer
-            started = self.env.now if tracer.enabled else 0.0
-            try:
+        # Legacy per-span path: both engines are held for the whole
+        # batch, mirroring the batched path above, so span boundaries
+        # never admit another transfer mid-batch.
+        out_request = source_engines.d2h.request()
+        yield out_request
+        in_request = destination_engines.h2d.request()
+        yield in_request
+        try:
+            for span in coalesce_spans(blocks):
+                span_bytes = sum(b.used_bytes for b in span)
+                tracer = self.tracer
+                started = self.env.now if tracer.enabled else 0.0
                 yield from self._timed_command(p2p_link, span_bytes, BIG_PAGE)
-            finally:
-                source_engines.d2h.release(out_request)
-                destination_engines.h2d.release(in_request)
-            if tracer.enabled:
-                self._trace_command(
-                    "link/p2p",
-                    TransferReason.FAULT_MIGRATION.value,
-                    started,
-                    span_bytes,
-                    span[0].index,
-                    len(span),
-                )
-            self.traffic.record(
-                self.env.now,
-                TransferDirection.DEVICE_TO_DEVICE,
-                span_bytes,
-                TransferReason.FAULT_MIGRATION,
-                first_block=span[0].index,
-                num_blocks=len(span),
-            )
-            for block in span:
-                self.rmt.on_transfer(
-                    block.index,
-                    block.used_bytes,
+                if tracer.enabled:
+                    self._trace_command(
+                        "link/p2p",
+                        TransferReason.FAULT_MIGRATION.value,
+                        started,
+                        span_bytes,
+                        span[0].index,
+                        len(span),
+                    )
+                self.traffic.record(
+                    self.env.now,
                     TransferDirection.DEVICE_TO_DEVICE,
+                    span_bytes,
                     TransferReason.FAULT_MIGRATION,
+                    first_block=span[0].index,
+                    num_blocks=len(span),
                 )
+                for block in span:
+                    self.rmt.on_transfer(
+                        block.index,
+                        block.used_bytes,
+                        TransferDirection.DEVICE_TO_DEVICE,
+                        TransferReason.FAULT_MIGRATION,
+                    )
+        finally:
+            source_engines.d2h.release(out_request)
+            destination_engines.h2d.release(in_request)
 
     def raw_transfer(
         self,

@@ -41,7 +41,11 @@ DEFAULT_SYSTEMS = ("UVM-opt", "UvmDiscard", "UvmDiscardLazy")
 
 def default_calibration_points(scale: float = 0.125) -> List["SweepPoint"]:
     """The default anchor grid: fig5 DL sweeps + micro ratio sweeps."""
-    from repro.harness.sweep import DL_BATCH_GRID, MICRO_WORKLOADS, SweepPoint
+    from repro.harness.sweep import (
+        DL_BATCH_GRID,
+        PAPER_MICRO_WORKLOADS,
+        SweepPoint,
+    )
 
     points: List[SweepPoint] = []
     for network, batches in sorted(DL_BATCH_GRID.items()):
@@ -55,7 +59,7 @@ def default_calibration_points(scale: float = 0.125) -> List["SweepPoint"]:
                         scale=scale,
                     )
                 )
-    for workload in MICRO_WORKLOADS:
+    for workload in PAPER_MICRO_WORKLOADS:
         for system in DEFAULT_SYSTEMS:
             for ratio in DEFAULT_RATIOS:
                 points.append(

@@ -113,7 +113,11 @@ def default_probe_points(scale: float = 0.125) -> List["SweepPoint"]:
     2.0x anchor and the 2.25x / 3.75x midpoints (two oversubscription
     ratios off the anchor grid, one inside hashjoin's knee region).
     """
-    from repro.harness.sweep import DL_BATCH_GRID, MICRO_WORKLOADS, SweepPoint
+    from repro.harness.sweep import (
+        DL_BATCH_GRID,
+        PAPER_MICRO_WORKLOADS,
+        SweepPoint,
+    )
 
     from repro.fastmodel.calibrate import DEFAULT_SYSTEMS
 
@@ -134,7 +138,7 @@ def default_probe_points(scale: float = 0.125) -> List["SweepPoint"]:
                         scale=scale,
                     )
                 )
-    for workload in MICRO_WORKLOADS:
+    for workload in PAPER_MICRO_WORKLOADS:
         for system in DEFAULT_SYSTEMS:
             for ratio in (2.0, 2.25, 3.75):
                 points.append(

@@ -75,7 +75,20 @@ DL_BATCH_GRID: Dict[str, Tuple[int, ...]] = {
     "rnn": (75, 150, 225, 300),
 }
 
-MICRO_WORKLOADS = ("fir", "radix", "hashjoin")
+#: The paper's own micro-benchmarks (§7.2-7.4) — the calibrated set the
+#: analytical fast model ships curves for.
+PAPER_MICRO_WORKLOADS = ("fir", "radix", "hashjoin")
+
+#: UVMBench-style workload categories (arXiv 2007.09822): irregular
+#: graph traversal, random-access ML, HPC stencil and tree reduction.
+#: Sweepable like the paper micros but NOT pre-calibrated — fast-model
+#: queries refuse with :class:`~repro.fastmodel.UncalibratedPointError`
+#: until a calibration covers them.
+UVMBENCH_WORKLOADS = ("bfs", "kmeans", "knn", "stencil", "reduction")
+
+#: Every ratio-configured (non-DL) workload the sweep engine accepts.
+MICRO_WORKLOADS = PAPER_MICRO_WORKLOADS + UVMBENCH_WORKLOADS
+
 LINK_NAMES = ("gen3", "gen4")
 GPU_NAMES = ("rtx3080ti", "gtx1070", "a100")
 
@@ -395,18 +408,31 @@ def _dl_trainer(point: SweepPoint, system: System):
     return DarknetTrainer(factory().scaled(point.scale), trainer_config, system)
 
 
-def _micro_workload(point: SweepPoint):
-    if point.workload == "fir":
-        from repro.workloads.fir import FirConfig, FirWorkload
-
-        return FirWorkload(FirConfig().scaled(point.scale))
-    if point.workload == "radix":
-        from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
-
-        return RadixSortWorkload(RadixSortConfig().scaled(point.scale))
+def _micro_factories():
+    from repro.workloads.bfs import BfsConfig, BfsWorkload
+    from repro.workloads.fir import FirConfig, FirWorkload
     from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
+    from repro.workloads.kmeans import KMeansConfig, KMeansWorkload
+    from repro.workloads.knn import KnnConfig, KnnWorkload
+    from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
+    from repro.workloads.reduction import ReductionConfig, ReductionWorkload
+    from repro.workloads.stencil import StencilConfig, StencilWorkload
 
-    return HashJoinWorkload(HashJoinConfig().scaled(point.scale))
+    return {
+        "fir": (FirWorkload, FirConfig),
+        "radix": (RadixSortWorkload, RadixSortConfig),
+        "hashjoin": (HashJoinWorkload, HashJoinConfig),
+        "bfs": (BfsWorkload, BfsConfig),
+        "kmeans": (KMeansWorkload, KMeansConfig),
+        "knn": (KnnWorkload, KnnConfig),
+        "stencil": (StencilWorkload, StencilConfig),
+        "reduction": (ReductionWorkload, ReductionConfig),
+    }
+
+
+def _micro_workload(point: SweepPoint):
+    workload_cls, config_cls = _micro_factories()[point.workload]
+    return workload_cls(config_cls().scaled(point.scale))
 
 
 def _install_chaos(runtime, point: SweepPoint):

@@ -16,11 +16,89 @@ values (pinned by ``tests/test_trace.py``).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.harness.results import ExperimentResult
 from repro.instrument.trace import TraceConfig, Tracer
+
+
+def populated_spans(buffer) -> List[List[int]]:
+    """``[offset, length]`` spans of ``buffer`` holding live program data.
+
+    Adjacent populated blocks merge into one span; offsets are relative
+    to the buffer start.  This is what the replay frontend re-creates
+    with ``host_write`` before re-enqueuing the measured body's ops.
+    """
+    spans: List[List[int]] = []
+    base = buffer.va_range.start
+    for block in buffer.blocks:
+        if not block.populated:
+            continue
+        offset = block.va_start - base
+        if spans and spans[-1][0] + spans[-1][1] == offset:
+            spans[-1][1] += block.used_bytes
+        else:
+            spans.append([offset, block.used_bytes])
+    return spans
+
+
+def _record_context(tracer: Tracer, runtime, point, plan) -> None:
+    """Emit the replay header: experiment metadata + the buffer table.
+
+    Recorded immediately after install, so these are the first records
+    of the program channel in both the cold and the forked timeline.
+    """
+    if not tracer.enabled:
+        return
+    now = runtime.env.now
+    tracer.instant(
+        "program",
+        "experiment",
+        now,
+        category="program",
+        args={
+            "workload": point.workload,
+            "system": plan.system,
+            "config": plan.config_label,
+            "link": point.link,
+            "gpu": point.gpu,
+            "scale": point.scale,
+            "ratio": plan.ratio,
+            "batch_size": point.batch_size,
+            "app_bytes": plan.app_bytes,
+        },
+    )
+    for buffer in runtime.managed_buffers():
+        tracer.instant(
+            "program",
+            "buffer",
+            now,
+            category="program",
+            args={
+                "buffer": buffer.name,
+                "nbytes": buffer.nbytes,
+                "spans": populated_spans(buffer),
+            },
+        )
+
+
+def _record_totals(tracer: Tracer, runtime) -> None:
+    """Emit the measured body's migration totals (the replay check)."""
+    if not tracer.enabled:
+        return
+    traffic = runtime.driver.traffic
+    tracer.instant(
+        "program",
+        "totals",
+        runtime.env.now,
+        category="program",
+        args={
+            "bytes_h2d": traffic.bytes_h2d,
+            "bytes_d2h": traffic.bytes_d2h,
+            "transfer_count": traffic.transfer_count,
+        },
+    )
 
 
 def trace_point(
@@ -71,6 +149,7 @@ def trace_point(
     # same slot where chaos attaches, so the measured-body timeline is
     # independent of how the prefix state was produced.
     tracer.install(runtime)
+    _record_context(tracer, runtime, point, plan)
     injector = _install_chaos(runtime, point)
     try:
         result = run_uvm_body(
@@ -82,6 +161,7 @@ def trace_point(
             plan.ratio,
             metric=plan.metric,
         )
+        _record_totals(tracer, runtime)
     except OutOfMemoryError:
         return None, tracer
     finally:

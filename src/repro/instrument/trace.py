@@ -94,6 +94,12 @@ class NullTracer:
     def instant(self, *args: Any, **kwargs: Any) -> int:
         return -1
 
+    def note_op(self, handle: Any, record_id: int) -> None:
+        pass
+
+    def op_for(self, handle: Any) -> int:
+        return -1
+
     def observe(self, name: str, value: float) -> None:
         pass
 
@@ -136,6 +142,7 @@ class Tracer:
         "_sampler",
         "_attached",
         "_runtime",
+        "_op_records",
     )
 
     def __init__(self, config: Optional[TraceConfig] = None) -> None:
@@ -151,6 +158,12 @@ class Tracer:
         self._sampler: Optional[EngineMonitorSampler] = None
         self._attached: List[Tuple[Any, Any]] = []
         self._runtime: Any = None
+        #: Async-op handle (stream Process object) -> the id of the
+        #: "program" record that enqueued it, so cross-stream waits can
+        #: name the op they wait on.  Keyed by the live object (not
+        #: ``id()``, which the allocator reuses); entries live as long
+        #: as the tracer, which is bounded by one run.
+        self._op_records: Dict[Any, int] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -190,6 +203,17 @@ class Tracer:
         span_id = len(events)
         events.append(("i", track, name, category, when, args))
         return span_id
+
+    def note_op(self, handle: Any, record_id: int) -> None:
+        """Remember which "program" record enqueued the async op whose
+        stream handle is ``handle`` (no-op for dropped records)."""
+        if record_id >= 0:
+            self._op_records[handle] = record_id
+
+    def op_for(self, handle: Any) -> int:
+        """The "program" record id that enqueued ``handle`` (-1 if
+        unknown — e.g. the op predates this tracer's install)."""
+        return self._op_records.get(handle, -1)
 
     def observe(self, name: str, value: float) -> None:
         """Feed a histogram sample into the attached metrics registry."""

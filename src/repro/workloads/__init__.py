@@ -1,4 +1,4 @@
-"""The paper's evaluation workloads (§7).
+"""The paper's evaluation workloads (§7) plus UVMBench-style categories.
 
 - :mod:`~repro.workloads.vector_add` — the Listing 1/2/3 running example,
   in explicit-copy, UVM and UVM+discard form (functional: computes real
@@ -11,26 +11,81 @@
   discardable intermediates (§7.4).
 - :mod:`~repro.workloads.dl` — Darknet-style deep learning training:
   VGG-16, Darknet-19, ResNet-53 and RNN (§7.5).
+
+UVMBench-style categories (arXiv 2007.09822), each with paper-style
+discard placement — see ``docs/WORKLOADS.md``:
+
+- :mod:`~repro.workloads.bfs` — irregular graph traversal with
+  ping-pong frontiers.
+- :mod:`~repro.workloads.kmeans` — random-access ML clustering.
+- :mod:`~repro.workloads.knn` — batched k-nearest-neighbor search.
+- :mod:`~repro.workloads.stencil` — 2D Jacobi sweeps over ping-pong
+  grids.
+- :mod:`~repro.workloads.reduction` — log-depth tree reduction.
+- :mod:`~repro.workloads.replay` — replays an exported access trace as
+  a workload.
 """
 
+from repro.workloads.bfs import BfsConfig, BfsWorkload
 from repro.workloads.fir import FirConfig, FirWorkload
 from repro.workloads.hash_join import HashJoinConfig, HashJoinWorkload
+from repro.workloads.kmeans import KMeansConfig, KMeansWorkload
+from repro.workloads.knn import KnnConfig, KnnWorkload
 from repro.workloads.radix_sort import RadixSortConfig, RadixSortWorkload
-from repro.workloads.functional import functional_hash_join, functional_radix_sort
+from repro.workloads.reduction import ReductionConfig, ReductionWorkload
+from repro.workloads.stencil import StencilConfig, StencilWorkload
+from repro.workloads.functional import (
+    functional_bfs,
+    functional_hash_join,
+    functional_kmeans,
+    functional_knn,
+    functional_radix_sort,
+    functional_reduction,
+    functional_stencil,
+)
+from repro.workloads.replay import (
+    ReplayTrace,
+    ReplayWorkload,
+    TraceFormatError,
+    chrome_trace_to_replay,
+    load_replay_trace,
+    run_replay,
+)
 from repro.workloads.vector_add import (
     explicit_vector_add,
     uvm_vector_add,
 )
 
 __all__ = [
+    "BfsConfig",
+    "BfsWorkload",
     "FirConfig",
     "FirWorkload",
     "HashJoinConfig",
     "HashJoinWorkload",
+    "KMeansConfig",
+    "KMeansWorkload",
+    "KnnConfig",
+    "KnnWorkload",
     "RadixSortConfig",
     "RadixSortWorkload",
+    "ReductionConfig",
+    "ReductionWorkload",
+    "ReplayTrace",
+    "ReplayWorkload",
+    "StencilConfig",
+    "StencilWorkload",
+    "TraceFormatError",
+    "chrome_trace_to_replay",
+    "load_replay_trace",
+    "run_replay",
     "explicit_vector_add",
     "uvm_vector_add",
-    "functional_radix_sort",
+    "functional_bfs",
     "functional_hash_join",
+    "functional_kmeans",
+    "functional_knn",
+    "functional_radix_sort",
+    "functional_reduction",
+    "functional_stencil",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 from repro.access import AccessMode
 from repro.cuda.kernel import BufferAccess, KernelSpec
 from repro.cuda.runtime import CudaRuntime
+from repro.gpu.access import IrregularPattern, StridedPattern
 
 #: Bits consumed per radix pass.
 RADIX_BITS = 8
@@ -159,3 +160,446 @@ def functional_hash_join(
     lvals = np.array([m[1] for m in result], dtype=left_values.dtype)
     rvals = np.array([m[2] for m in result], dtype=right_values.dtype)
     return keys, lvals, rvals
+
+def functional_bfs(
+    cuda: CudaRuntime,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    source: int = 0,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Level-synchronous BFS over a CSR graph on the simulated GPU.
+
+    Frontiers ping-pong between two buffers; each consumed frontier is
+    discarded and (because the buffer is the write target two levels
+    later) prefetched back — the paired shape the BFS benchmark models.
+    Returns the per-node level array (-1 for unreachable nodes).
+    """
+    num_nodes = int(indptr.size) - 1
+    if num_nodes < 1:
+        raise ValueError("indptr must describe at least one node")
+    if not 0 <= source < num_nodes:
+        raise ValueError(f"source {source} out of range for {num_nodes} nodes")
+    indptr_arr = np.ascontiguousarray(indptr, dtype=np.int64)
+    indices_arr = np.ascontiguousarray(indices, dtype=np.int64)
+    levels = np.full(num_nodes, -1, dtype=np.int32)
+    levels[source] = 0
+    front_a = np.zeros(num_nodes, dtype=np.int64)
+    front_a[0] = source
+    front_b = np.zeros(num_nodes, dtype=np.int64)
+
+    edges_buf = cuda.malloc_managed(
+        max(indices_arr.nbytes, 4), "bfs_edges", array=indices_arr
+    )
+    indptr_buf = cuda.malloc_managed(
+        max(indptr_arr.nbytes, 4), "bfs_indptr", array=indptr_arr
+    )
+    levels_buf = cuda.malloc_managed(
+        max(levels.nbytes, 4), "bfs_levels", array=levels
+    )
+    fronts = [
+        cuda.malloc_managed(max(front_a.nbytes, 4), "bfs_frontier_a", array=front_a),
+        cuda.malloc_managed(max(front_b.nbytes, 4), "bfs_frontier_b", array=front_b),
+    ]
+    for buffer in (edges_buf, indptr_buf, levels_buf, fronts[0]):
+        yield from cuda.host_write(buffer)
+
+    state = {"frontier": np.array([source], dtype=np.int64)}
+    level = 0
+    while state["frontier"].size:
+        cur = fronts[level % 2]
+        nxt = fronts[(level + 1) % 2]
+
+        def expand(lv=level, nxt=nxt):
+            frontier = state["frontier"]
+            chunks = [
+                indices_arr[indptr_arr[n] : indptr_arr[n + 1]]
+                for n in frontier.tolist()
+            ]
+            neighbors = (
+                np.unique(np.concatenate(chunks))
+                if chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            fresh = neighbors[levels_buf.array[neighbors] == -1]
+            levels_buf.array[fresh] = lv + 1
+            nxt.array[:] = 0
+            nxt.array[: fresh.size] = fresh
+            state["frontier"] = fresh
+
+        cuda.launch(
+            KernelSpec(
+                f"bfs_level_{level}",
+                [
+                    BufferAccess(
+                        edges_buf,
+                        AccessMode.READ,
+                        pattern=IrregularPattern(seed=level),
+                    ),
+                    BufferAccess(indptr_buf, AccessMode.READ),
+                    BufferAccess(cur, AccessMode.READ),
+                    BufferAccess(nxt, AccessMode.WRITE),
+                    BufferAccess(
+                        levels_buf, AccessMode.READWRITE, pattern=StridedPattern()
+                    ),
+                ],
+                flops=float(num_nodes),
+                fn=expand,
+            )
+        )
+        if discard is not None:
+            # The consumed frontier is dead; it is the write target two
+            # levels from now, so prefetch it back (the §5.2 pairing).
+            cuda.discard_async(cur, mode=discard)
+            cuda.prefetch_async(cur)
+        yield from cuda.synchronize()  # the host loop reads the frontier
+        level += 1
+    yield from cuda.host_read(levels_buf)
+    yield from cuda.synchronize()
+    return levels_buf.array.copy()
+
+
+def functional_kmeans(
+    cuda: CudaRuntime,
+    points: np.ndarray,
+    centroids: np.ndarray,
+    iterations: int = 3,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Lloyd's k-means on the simulated GPU.
+
+    Each iteration assigns points to their nearest centroid (ties break
+    to the lowest index) and recomputes centroids from partial sums.
+    The partial-sum scratch and the assignment vector are discarded per
+    iteration and prefetched back before reuse.  Returns the final
+    ``(centroids, assignments)`` pair.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    cent = np.ascontiguousarray(centroids, dtype=np.float64).copy()
+    if pts.ndim != 2 or cent.ndim != 2 or pts.shape[1] != cent.shape[1]:
+        raise ValueError("points and centroids must be 2-D with equal dims")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    num_clusters = cent.shape[0]
+    assign = np.zeros(pts.shape[0], dtype=np.int64)
+    partial = np.zeros((num_clusters, pts.shape[1] + 1), dtype=np.float64)
+
+    pts_buf = cuda.malloc_managed(max(pts.nbytes, 4), "kmeans_points", array=pts)
+    cent_buf = cuda.malloc_managed(
+        max(cent.nbytes, 4), "kmeans_centroids", array=cent
+    )
+    assign_buf = cuda.malloc_managed(
+        max(assign.nbytes, 4), "kmeans_assign", array=assign
+    )
+    partial_buf = cuda.malloc_managed(
+        max(partial.nbytes, 4), "kmeans_partial", array=partial
+    )
+    yield from cuda.host_write(pts_buf)
+    yield from cuda.host_write(cent_buf)
+
+    for iteration in range(iterations):
+        cuda.prefetch_async(partial_buf)
+
+        def assign_fn():
+            dist2 = ((pts[:, None, :] - cent_buf.array[None, :, :]) ** 2).sum(
+                axis=2
+            )
+            owners = np.argmin(dist2, axis=1)
+            assign_buf.array[:] = owners
+            sums = partial_buf.array
+            sums[:] = 0.0
+            np.add.at(sums[:, :-1], owners, pts)
+            np.add.at(sums[:, -1], owners, 1.0)
+
+        cuda.launch(
+            KernelSpec(
+                f"kmeans_assign_{iteration}",
+                [
+                    BufferAccess(
+                        pts_buf,
+                        AccessMode.READ,
+                        pattern=IrregularPattern(seed=iteration),
+                    ),
+                    BufferAccess(cent_buf, AccessMode.READ),
+                    BufferAccess(assign_buf, AccessMode.WRITE),
+                    BufferAccess(partial_buf, AccessMode.WRITE),
+                ],
+                flops=float(pts.size * num_clusters),
+                fn=assign_fn,
+            )
+        )
+
+        def update_fn():
+            sums = partial_buf.array
+            counts = sums[:, -1]
+            mask = counts > 0
+            updated = cent_buf.array.copy()
+            updated[mask] = sums[mask, :-1] / counts[mask, None]
+            cent_buf.array[:] = updated
+
+        cuda.launch(
+            KernelSpec(
+                f"kmeans_update_{iteration}",
+                [
+                    BufferAccess(partial_buf, AccessMode.READ),
+                    BufferAccess(cent_buf, AccessMode.READWRITE),
+                ],
+                flops=float(partial.size),
+                fn=update_fn,
+            )
+        )
+        if discard is not None:
+            # Partial sums die with the update kernel every iteration;
+            # assignments only once they stop being the output.
+            cuda.discard_async(partial_buf, mode=discard)
+            if iteration + 1 < iterations:
+                cuda.prefetch_async(partial_buf)
+                cuda.discard_async(assign_buf, mode=discard)
+                cuda.prefetch_async(assign_buf)
+    yield from cuda.synchronize()
+    yield from cuda.host_read(cent_buf)
+    yield from cuda.host_read(assign_buf)
+    yield from cuda.synchronize()
+    return cent_buf.array.copy(), assign_buf.array.copy()
+
+
+def functional_knn(
+    cuda: CudaRuntime,
+    refs: np.ndarray,
+    queries: np.ndarray,
+    k: int = 4,
+    batches: int = 2,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Batched exact k-nearest-neighbors on the simulated GPU.
+
+    Queries stream through in windows; each window's distance scratch is
+    discarded after selection and prefetched back for the next batch,
+    while the consumed query window is discarded without pairing.
+    Returns the ``(num_queries, k)`` neighbor-index array (stable order:
+    ties break to the lower reference index).
+    """
+    refs_arr = np.ascontiguousarray(refs, dtype=np.float64)
+    query_arr = np.ascontiguousarray(queries, dtype=np.float64)
+    if refs_arr.ndim != 2 or query_arr.ndim != 2:
+        raise ValueError("refs and queries must be 2-D")
+    if refs_arr.shape[1] != query_arr.shape[1]:
+        raise ValueError("refs and queries must have equal dims")
+    if not 1 <= k <= refs_arr.shape[0]:
+        raise ValueError(f"k={k} out of range for {refs_arr.shape[0]} refs")
+    num_queries = query_arr.shape[0]
+    if batches < 1 or num_queries % batches:
+        raise ValueError(
+            f"{num_queries} queries do not split into {batches} equal batches"
+        )
+    per_batch = num_queries // batches
+    scratch = np.zeros((per_batch, refs_arr.shape[0]), dtype=np.float64)
+    result = np.zeros((num_queries, k), dtype=np.int64)
+
+    refs_buf = cuda.malloc_managed(max(refs_arr.nbytes, 4), "knn_refs", array=refs_arr)
+    query_buf = cuda.malloc_managed(
+        max(query_arr.nbytes, 4), "knn_queries", array=query_arr
+    )
+    scratch_buf = cuda.malloc_managed(
+        max(scratch.nbytes, 4), "knn_scratch", array=scratch
+    )
+    result_buf = cuda.malloc_managed(
+        max(result.nbytes, 4), "knn_result", array=result
+    )
+    yield from cuda.host_write(refs_buf)
+    yield from cuda.host_write(query_buf)
+
+    window_bytes = per_batch * query_arr.shape[1] * 8
+    result_window = per_batch * k * 8
+    for b in range(batches):
+        q_rng = query_buf.subrange(b * window_bytes, window_bytes)
+        cuda.prefetch_async(scratch_buf)
+
+        def distances(b=b):
+            window = query_arr[b * per_batch : (b + 1) * per_batch]
+            scratch_buf.array[:] = (
+                (window[:, None, :] - refs_arr[None, :, :]) ** 2
+            ).sum(axis=2)
+
+        cuda.launch(
+            KernelSpec(
+                f"knn_distance_{b}",
+                [
+                    BufferAccess(
+                        refs_buf,
+                        AccessMode.READ,
+                        pattern=IrregularPattern(seed=b),
+                    ),
+                    BufferAccess(query_buf, AccessMode.READ, q_rng),
+                    BufferAccess(scratch_buf, AccessMode.WRITE),
+                ],
+                flops=float(per_batch * refs_arr.size),
+                fn=distances,
+            )
+        )
+
+        def select(b=b):
+            order = np.argsort(scratch_buf.array, axis=1, kind="stable")
+            result_buf.array[b * per_batch : (b + 1) * per_batch] = order[:, :k]
+
+        cuda.launch(
+            KernelSpec(
+                f"knn_select_{b}",
+                [
+                    BufferAccess(scratch_buf, AccessMode.READ),
+                    BufferAccess(
+                        result_buf,
+                        AccessMode.WRITE,
+                        result_buf.subrange(b * result_window, result_window),
+                    ),
+                ],
+                flops=float(scratch.size),
+                fn=select,
+            )
+        )
+        if discard is not None:
+            # The query window is never revisited (unpaired); the
+            # scratch is — prefetch it back for the next batch.
+            cuda.discard_async(query_buf, rng=q_rng, mode=discard)
+            cuda.discard_async(scratch_buf, mode=discard)
+            if b + 1 < batches:
+                cuda.prefetch_async(scratch_buf)
+    yield from cuda.synchronize()
+    yield from cuda.host_read(result_buf)
+    yield from cuda.synchronize()
+    return result_buf.array.copy()
+
+
+def functional_stencil(
+    cuda: CudaRuntime,
+    grid: np.ndarray,
+    iterations: int = 3,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Jacobi 5-point stencil over ping-pong grids on the simulated GPU.
+
+    Each sweep averages a cell with its four neighbors (boundary cells
+    copy through); the consumed source grid is discarded and prefetched
+    back as the next sweep's write target.  Returns the final grid.
+    """
+    start = np.ascontiguousarray(grid, dtype=np.float64)
+    if start.ndim != 2:
+        raise ValueError("grid must be 2-D")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    grid_a = start.copy()
+    grid_b = np.zeros_like(start)
+    grids = [
+        cuda.malloc_managed(max(grid_a.nbytes, 4), "stencil_grid_a", array=grid_a),
+        cuda.malloc_managed(max(grid_b.nbytes, 4), "stencil_grid_b", array=grid_b),
+    ]
+    yield from cuda.host_write(grids[0])
+
+    for i in range(iterations):
+        src = grids[i % 2]
+        dst = grids[(i + 1) % 2]
+        cuda.prefetch_async(dst)
+
+        def sweep(src=src, dst=dst):
+            s = src.array
+            d = dst.array
+            d[:] = s
+            d[1:-1, 1:-1] = (
+                s[1:-1, 1:-1]
+                + s[:-2, 1:-1]
+                + s[2:, 1:-1]
+                + s[1:-1, :-2]
+                + s[1:-1, 2:]
+            ) / 5.0
+
+        cuda.launch(
+            KernelSpec(
+                f"stencil_sweep_{i}",
+                [
+                    BufferAccess(src, AccessMode.READ, pattern=StridedPattern()),
+                    BufferAccess(dst, AccessMode.WRITE),
+                ],
+                flops=float(start.size * 5),
+                fn=sweep,
+            )
+        )
+        if discard is not None:
+            # The consumed grid is iteration i+1's write target.
+            cuda.discard_async(src, mode=discard)
+            if i + 1 < iterations:
+                cuda.prefetch_async(src)
+    yield from cuda.synchronize()
+    final = grids[iterations % 2]
+    yield from cuda.host_read(final)
+    yield from cuda.synchronize()
+    return final.array.copy()
+
+
+def functional_reduction(
+    cuda: CudaRuntime,
+    values: np.ndarray,
+    fanin: int = 8,
+    discard: Optional[str] = "eager",
+) -> Generator:
+    """Tree-sum of ``values`` with the given fan-in on the simulated GPU.
+
+    Levels ping-pong between the input buffer and a scratch buffer;
+    every consumed source span is discarded, and all but the last are
+    prefetched back (the span is level *k+1*'s write target).  Returns
+    the scalar sum as a 1-element array.
+    """
+    vals = np.ascontiguousarray(values, dtype=np.float64).ravel()
+    if vals.size < 1:
+        raise ValueError("values must be non-empty")
+    if fanin < 2:
+        raise ValueError("fanin must be >= 2")
+    lengths = [vals.size]
+    while lengths[-1] > 1:
+        lengths.append(-(-lengths[-1] // fanin))
+    work = vals.copy()
+    scratch = np.zeros(lengths[1] if len(lengths) > 1 else 1, dtype=np.float64)
+    buffers = [
+        cuda.malloc_managed(max(work.nbytes, 4), "reduce_values", array=work),
+        cuda.malloc_managed(max(scratch.nbytes, 4), "reduce_scratch", array=scratch),
+    ]
+    yield from cuda.host_write(buffers[0])
+
+    num_levels = len(lengths) - 1
+    for level in range(num_levels):
+        src = buffers[level % 2]
+        dst = buffers[(level + 1) % 2]
+        src_len = lengths[level]
+        dst_len = lengths[level + 1]
+        src_rng = src.subrange(0, src_len * 8)
+        dst_rng = dst.subrange(0, dst_len * 8)
+        cuda.prefetch_async(dst, rng=dst_rng)
+
+        def reduce_level(src=src, dst=dst, src_len=src_len, dst_len=dst_len):
+            data = src.array[:src_len]
+            pad = dst_len * fanin - src_len
+            if pad:
+                data = np.concatenate([data, np.zeros(pad, dtype=np.float64)])
+            dst.array[:dst_len] = data.reshape(dst_len, fanin).sum(axis=1)
+
+        cuda.launch(
+            KernelSpec(
+                f"reduce_level_{level}",
+                [
+                    BufferAccess(src, AccessMode.READ, src_rng),
+                    BufferAccess(dst, AccessMode.WRITE, dst_rng),
+                ],
+                flops=float(src_len),
+                fn=reduce_level,
+            )
+        )
+        if discard is not None:
+            # The consumed span is level k+1's write target (except at
+            # the last level, which leaves the sum behind).
+            cuda.discard_async(src, rng=src_rng, mode=discard)
+            if level + 1 < num_levels:
+                cuda.prefetch_async(src, rng=src_rng)
+    yield from cuda.synchronize()
+    final = buffers[num_levels % 2]
+    yield from cuda.host_read(final, rng=final.subrange(0, 8))
+    yield from cuda.synchronize()
+    return final.array[:1].copy()

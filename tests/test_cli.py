@@ -304,3 +304,79 @@ class TestProfileCompare:
             "--compare", str(bogus),
         ]) == 2
         assert "bad baseline" in capsys.readouterr().err
+
+
+class TestChaosWorkloadListing:
+    """The --workloads error is a contract: it must name every catalog
+    entry so the listing can never drift from ``CHAOS_WORKLOADS``."""
+
+    def test_unknown_workload_lists_full_catalog(self, capsys):
+        from repro.chaos.catalog import CHAOS_WORKLOADS
+
+        assert main(["chaos", "--workloads", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown chaos workloads ['bogus']" in err
+        for name in CHAOS_WORKLOADS:
+            assert name in err, f"{name} missing from the catalog listing"
+
+    def test_new_categories_are_selectable(self):
+        args = build_parser().parse_args(
+            ["chaos", "--workloads", "bfs,kmeans,knn,stencil,reduction"]
+        )
+        assert args.workloads == "bfs,kmeans,knn,stencil,reduction"
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def export(self, tmp_path_factory):
+        """A Chrome export of a small traced point, as 'repro trace'
+        would write it."""
+        from repro.harness.sweep import SweepPoint
+        from repro.harness.tracerun import trace_point
+
+        point = SweepPoint(
+            workload="fir", system="UvmDiscard", ratio=2.0, scale=0.01
+        )
+        _, tracer = trace_point(point)
+        path = tmp_path_factory.mktemp("replay") / "export.json"
+        path.write_text(json.dumps(tracer.to_chrome_trace()))
+        return path
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["replay", "t.json"])
+        assert args.trace == "t.json"
+        assert args.convert is None
+        assert not args.check and not args.per_buffer and not args.json
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_convert_then_check_round_trips(self, export, tmp_path, capsys):
+        csv_path = tmp_path / "replay.csv"
+        assert main(["replay", str(export), "--convert", str(csv_path)]) == 0
+        assert "wrote replay trace" in capsys.readouterr().out
+
+        assert main(["replay", str(csv_path), "--check", "--per-buffer"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded totals: MATCH" in out
+        assert "fir_input" in out  # per-buffer lines present
+
+    def test_json_output_reports_check(self, export, capsys):
+        assert main(["replay", str(export), "--json", "--check"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["check"]["checked"] and payload["check"]["ok"]
+        assert payload["meta"]["workload"] == "fir"
+        assert payload["ops"] > 0
+
+    def test_check_without_recorded_totals_exits_2(
+        self, export, tmp_path, capsys
+    ):
+        from repro.workloads.replay import load_replay_trace
+
+        doc = load_replay_trace(str(export)).to_document()
+        doc["meta"].pop("expected")
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(doc))
+        assert main(["replay", str(bare), "--check"]) == 2
+        assert "no expected totals" in capsys.readouterr().err

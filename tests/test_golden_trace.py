@@ -37,7 +37,28 @@ GOLDEN_POINTS = {
     "dl_vgg16_discard_bs8": SweepPoint(
         workload="dl:vgg16", system="UvmDiscard", batch_size=8, scale=0.03125
     ),
+    # One golden per UVMBench-style category (PR 9); lazy-discard for
+    # the ping-pong workloads so §5.2's prefetch-paired path is pinned.
+    "bfs_discard_200pct": SweepPoint(
+        workload="bfs", system="UvmDiscard", ratio=2.0, scale=0.03125
+    ),
+    "kmeans_discard_200pct": SweepPoint(
+        workload="kmeans", system="UvmDiscard", ratio=2.0, scale=0.03125
+    ),
+    "knn_discard_200pct": SweepPoint(
+        workload="knn", system="UvmDiscard", ratio=2.0, scale=0.03125
+    ),
+    "stencil_discardlazy_200pct": SweepPoint(
+        workload="stencil", system="UvmDiscardLazy", ratio=2.0, scale=0.03125
+    ),
+    "reduction_discardlazy_200pct": SweepPoint(
+        workload="reduction", system="UvmDiscardLazy", ratio=2.0, scale=0.03125
+    ),
 }
+
+#: The micro points above (tracing needs a UVM driver; the DL golden is
+#: excluded only because its traced run is disproportionately slow).
+TRACED_POINTS = sorted(name for name in GOLDEN_POINTS if "dl_" not in name)
 
 
 def _flatten(result_dict):
@@ -144,4 +165,31 @@ def test_golden_trace_invariant_to_snapshot_forking(name):
     assert not drift, (
         f"{name}: snapshot-forked run diverges from the committed "
         "snapshot (golden -> actual):\n" + "\n".join(drift)
+    )
+
+
+@pytest.mark.parametrize("name", TRACED_POINTS)
+def test_trace_digest_identity(name):
+    """Cold, repeated and snapshot-forked traced runs are byte-identical.
+
+    Every golden micro point is traced three ways — cold, cold again
+    (determinism), and with the measured body on a snapshot fork of the
+    setup prefix — and all three must produce the same ``trace_digest``.
+    There is no --update-golden escape hatch: the digests are compared
+    against each other, not a file, so a divergence always means the
+    fork/repeat path changed simulation behaviour.
+    """
+    from repro.harness.tracerun import trace_point
+
+    point = GOLDEN_POINTS[name]
+    result_cold, cold = trace_point(point)
+    assert result_cold is not None, f"{point.label} unexpectedly hit OOM"
+    _, repeat = trace_point(point)
+    _, forked = trace_point(point, via_fork=True)
+    assert cold.digest() == repeat.digest(), (
+        f"{name}: repeated traced run produced a different trace_digest"
+    )
+    assert cold.digest() == forked.digest(), (
+        f"{name}: snapshot-forked traced run produced a different "
+        "trace_digest"
     )
