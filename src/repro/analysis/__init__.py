@@ -1,0 +1,45 @@
+"""Post-run byte-attribution and waste analysis (``repro explain``).
+
+- :mod:`repro.analysis.attribution` — map every migrated byte to its
+  (buffer, phase, reason) and its RMT fate; the single source of truth
+  behind ``per_buffer_transfer_totals`` (re-exported by
+  :mod:`repro.workloads.replay` for compatibility).
+- :mod:`repro.analysis.opportunities` — infer discard placements from
+  declared-access replay traces and apply them.
+- :mod:`repro.analysis.explain` — the ``repro explain`` orchestration:
+  reports, run diffs and the ``--check`` inference-vs-hand harness.
+
+See the "Attribution & waste analysis" section of
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.analysis.attribution import (
+    RAW_BUCKET,
+    attribution_report,
+    attribution_summary,
+    per_buffer_transfer_totals,
+)
+from repro.analysis.explain import (
+    check_discard_inference,
+    diff_reports,
+    explain_point,
+    render_check,
+    render_diff,
+    render_report,
+)
+from repro.analysis.opportunities import apply_discards, infer_discards
+
+__all__ = [
+    "RAW_BUCKET",
+    "attribution_report",
+    "attribution_summary",
+    "per_buffer_transfer_totals",
+    "apply_discards",
+    "infer_discards",
+    "check_discard_inference",
+    "diff_reports",
+    "explain_point",
+    "render_check",
+    "render_diff",
+    "render_report",
+]

@@ -1,0 +1,214 @@
+"""Byte attribution: who moved every byte, and was the move wasted.
+
+Built entirely from post-run driver state — the retained
+:class:`~repro.instrument.traffic.TransferRecord` list (each record
+tagged at record time with its per-buffer ``segments`` and the workload
+``phase`` that was active) and the per-record fate tallies of the
+:class:`~repro.instrument.rmt.RmtClassifier`.  Requires the runtime to
+have been built with ``UvmDriverConfig(keep_transfer_records=True)``;
+on the benchmark hot path no records exist and every function here
+degrades to an empty report.
+
+The conservation contract (every attributed view re-sums to the
+recorder's running totals) is enforced by
+:func:`repro.harness.validation.collect_conservation_problems`, which
+the online validator and the chaos oracle run mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.instrument.rmt import (
+    FATE_DISCARDED,
+    FATE_OVERWRITTEN,
+    FATE_UNUSED,
+    FATE_USEFUL,
+)
+from repro.instrument.traffic import TransferDirection, TransferReason
+
+__all__ = [
+    "RAW_BUCKET",
+    "per_buffer_transfer_totals",
+    "attribution_report",
+    "attribution_summary",
+]
+
+#: Bucket name for transfers that move no va_blocks (``raw_transfer``).
+RAW_BUCKET = "(raw)"
+
+_FATES = (FATE_USEFUL, FATE_OVERWRITTEN, FATE_DISCARDED, FATE_UNUSED)
+_REDUNDANT_FATES = (FATE_OVERWRITTEN, FATE_DISCARDED, FATE_UNUSED)
+
+_DIRECTION_KEYS = {
+    TransferDirection.HOST_TO_DEVICE: "h2d",
+    TransferDirection.DEVICE_TO_HOST: "d2h",
+    TransferDirection.DEVICE_TO_DEVICE: "d2d",
+}
+
+
+def _record_buckets(record) -> List:
+    """``(name, nbytes)`` attribution of one record.
+
+    Records tagged at record time carry exact per-buffer ``segments``;
+    blockless transfers (``raw_transfer``) land in :data:`RAW_BUCKET`.
+    """
+    if record.segments:
+        return list(record.segments)
+    return [(RAW_BUCKET, record.nbytes)]
+
+
+def per_buffer_transfer_totals(runtime) -> Dict[str, Dict[str, int]]:
+    """Per-buffer H2D/D2H/D2D byte totals from retained transfer records.
+
+    Requires the runtime to have been built with
+    ``UvmDriverConfig(keep_transfer_records=True)``.  Each record's
+    bytes are split across the buffers it actually moved (its
+    record-time ``segments``), so a coalesced span crossing a buffer
+    boundary is charged to both owners; raw (blockless) transfers land
+    in the ``"(raw)"`` bucket.  The buckets always re-sum to the
+    driver's running totals (a chaos-oracle invariant).
+    """
+    totals: Dict[str, Dict[str, int]] = {}
+    for record in runtime.driver.traffic.records:
+        key = _DIRECTION_KEYS[record.direction]
+        for name, nbytes in _record_buckets(record):
+            bucket = totals.setdefault(name, {"h2d": 0, "d2h": 0, "d2d": 0})
+            bucket[key] += nbytes
+    return totals
+
+
+def _fate_split(tally: Dict[str, int]) -> Dict[str, int]:
+    out = {fate: tally.get(fate, 0) for fate in _FATES}
+    out["redundant"] = sum(out[f] for f in _REDUNDANT_FATES)
+    return out
+
+
+def attribution_report(runtime) -> Dict[str, Any]:
+    """Full byte-attribution and waste-analysis report for one run.
+
+    Returns a plain-JSON dict::
+
+        {
+          "complete": bool,       # a record exists for every transfer
+          "totals": {...},        # recorder running totals
+          "by_buffer": {name: {h2d, d2h, d2d, useful, overwritten,
+                               discarded, unused, redundant}},
+          "by_phase":  {phase: {h2d, d2h, d2d, useful, redundant}},
+          "by_reason": {reason: {h2d, d2h, d2d, useful, redundant}},
+          "waste": {...},         # aggregate fates + derived causes
+        }
+
+    Fate classification follows the RMT rules (§3): a transferred
+    byte is *useful* once read at its destination, *overwritten* /
+    *discarded* / *unused* otherwise.  Two derived causes decompose
+    the waste further:
+
+    - ``dead_writeback_bytes`` — eviction-reason bytes whose moved
+      data was never read again: writebacks of dead data.
+    - ``thrash_refetch_bytes`` — fault/prefetch H2D bytes re-fetching
+      buffer bytes previously evicted, the re-fetch half of a thrash
+      cycle (byte-granular per buffer, so a lower bound on true
+      block-level thrash).
+    """
+    traffic = runtime.driver.traffic
+    rmt = runtime.driver.rmt
+    records = traffic.records
+    complete = bool(records) and len(records) == traffic.transfer_count
+
+    by_buffer: Dict[str, Dict[str, int]] = {}
+    by_phase: Dict[str, Dict[str, int]] = {}
+    by_reason: Dict[str, Dict[str, int]] = {}
+    dead_writeback = 0
+    thrash_refetch = 0
+    evicted_outstanding: Dict[str, int] = {}
+    refetch_reasons = (TransferReason.FAULT_MIGRATION, TransferReason.PREFETCH)
+
+    for record in records:
+        key = _DIRECTION_KEYS[record.direction]
+        fates = rmt.fates_for(record)
+        useful = fates.get(FATE_USEFUL, 0)
+        redundant = sum(fates.get(f, 0) for f in _REDUNDANT_FATES)
+        for group, label in (
+            (by_phase, record.phase),
+            (by_reason, record.reason.value),
+        ):
+            bucket = group.setdefault(
+                label,
+                {"h2d": 0, "d2h": 0, "d2d": 0, "useful": 0, "redundant": 0},
+            )
+            bucket[key] += record.nbytes
+            bucket["useful"] += useful
+            bucket["redundant"] += redundant
+        for name, nbytes in _record_buckets(record):
+            bucket = by_buffer.setdefault(name, {"h2d": 0, "d2h": 0, "d2d": 0})
+            bucket[key] += nbytes
+            if record.reason is TransferReason.EVICTION and key == "d2h":
+                evicted_outstanding[name] = (
+                    evicted_outstanding.get(name, 0) + nbytes
+                )
+            elif key == "h2d" and record.reason in refetch_reasons:
+                outstanding = evicted_outstanding.get(name, 0)
+                if outstanding:
+                    hit = min(outstanding, nbytes)
+                    thrash_refetch += hit
+                    evicted_outstanding[name] = outstanding - hit
+        if record.reason is TransferReason.EVICTION:
+            dead_writeback += redundant
+
+    for name, tally in rmt.buffer_fates.items():
+        bucket = by_buffer.setdefault(name, {"h2d": 0, "d2h": 0, "d2d": 0})
+        bucket.update(_fate_split(tally))
+    for bucket in by_buffer.values():
+        if "useful" not in bucket:
+            bucket.update(_fate_split({}))
+
+    fate_totals = {fate: 0 for fate in _FATES}
+    for tally in rmt.record_fates.values():
+        for fate, nbytes in tally.items():
+            fate_totals[fate] += nbytes
+    classified = sum(fate_totals.values())
+    return {
+        "complete": complete,
+        "totals": {
+            "bytes_h2d": traffic.bytes_h2d,
+            "bytes_d2h": traffic.bytes_d2h,
+            "bytes_d2d": traffic.bytes_d2d,
+            "transfer_count": traffic.transfer_count,
+            "block_bytes": traffic.block_bytes,
+            "raw_bytes": traffic.total_bytes - traffic.block_bytes,
+        },
+        "by_buffer": by_buffer,
+        "by_phase": by_phase,
+        "by_reason": by_reason,
+        "waste": {
+            "useful_bytes": fate_totals[FATE_USEFUL],
+            "overwritten_bytes": fate_totals[FATE_OVERWRITTEN],
+            "discarded_bytes": fate_totals[FATE_DISCARDED],
+            "unused_bytes": fate_totals[FATE_UNUSED],
+            "redundant_bytes": classified - fate_totals[FATE_USEFUL],
+            "pending_bytes": rmt.pending_record_bytes,
+            "dead_writeback_bytes": dead_writeback,
+            "thrash_refetch_bytes": thrash_refetch,
+            "redundant_fraction": (
+                (classified - fate_totals[FATE_USEFUL]) / classified
+                if classified
+                else 0.0
+            ),
+        },
+    }
+
+
+def attribution_summary(runtime) -> Dict[str, Any]:
+    """Compact attribution summary for sweep results and ``/run``.
+
+    The ``waste`` block plus per-buffer direction/fate totals — small
+    enough to ride inside every cached
+    :class:`~repro.harness.results.ExperimentResult`.
+    """
+    report = attribution_report(runtime)
+    return {
+        "complete": report["complete"],
+        "waste": report["waste"],
+        "by_buffer": report["by_buffer"],
+    }

@@ -1,0 +1,438 @@
+"""Discard-opportunity inference over declared-access replay traces.
+
+Given a replay trace (PR 8's documented op stream — every kernel
+declares which buffer ranges it reads and writes), this module infers
+where ``UvmDiscardAsync`` directives *could* be placed without changing
+program semantics, and can apply them to produce a modified trace for
+:func:`repro.workloads.replay.run_replay`.
+
+The inference is a per-range liveness analysis.  Every buffer is
+fragmented into atomic intervals at the access boundaries the trace
+declares; each interval's op sequence splits into *copies* (a birth —
+setup population or a kernel write — followed by its reads, ended by
+the overwrite that replaces it).  A copy whose data is provably dead
+over a window qualifies for a discard when:
+
+- **read-kill** — its last access is a pure GPU kernel read and the
+  copy is later overwritten by a pure GPU kernel write (or freed): the
+  window between last read and rebirth is dead.
+- **write-only scratch** — a GPU-written copy is overwritten without
+  ever being read (workspace-style buffers).
+- **dead-read-once** — the trace ends with the copy unread forever and
+  it was read exactly once: a consumed input window (e.g. a query
+  batch) that will never be touched again.
+- **dead-scratch** — the trace ends with a GPU-written copy whose
+  range already cycled through a real dead window earlier: cyclic
+  scratch keeps its final discard even after many reads.
+
+Ranges the host touches inside the measured body are never discarded
+(the host copy is authoritative there), and a read-modify-write kill
+never qualifies (the data was live at its last access).
+
+Placement and mode mirror the hand-written workloads byte for byte
+(``repro explain --check`` verifies this on every fig5 and UVMBench
+workload): each discard is enqueued on its killer's stream, deferred
+to just before the next ``prefetch`` op in the stream program (the
+§4.2 ordering — the discard must precede the prefetch it pairs with),
+and uses the lazy implementation only when the target system is
+UvmDiscardLazy *and* a later prefetch overlapping the dead range
+arrives before the rebirth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.harness.systems import System
+from repro.workloads.replay import SCHEMA_VERSION, ReplayTrace
+
+__all__ = ["infer_discards", "apply_discards"]
+
+RULE_READ_KILL = "read-kill"
+RULE_WRITE_ONLY = "write-only-scratch"
+RULE_DEAD_READ_ONCE = "dead-read-once"
+RULE_DEAD_SCRATCH = "dead-scratch"
+
+
+def _op_range(op: Dict[str, Any], nbytes: int) -> Tuple[int, int]:
+    offset = op.get("offset", 0) or 0
+    length = op.get("length")
+    if length is None:
+        length = nbytes - offset
+    return offset, offset + length
+
+
+class _BufferTouches:
+    """All liveness-relevant ops on one buffer, in op order."""
+
+    def __init__(self, nbytes: int, setup_spans: List[List[int]]) -> None:
+        self.nbytes = nbytes
+        self.setup_spans = setup_spans
+        self.host_touched = False
+        #: (op_idx, kind, [(start, end, mode)], stream) — kind is
+        #: "kernel", "discard" or "free".
+        self.events: List[Tuple[int, str, List, Optional[str]]] = []
+        #: (op_idx, start, end) of prefetches targeting this buffer.
+        self.prefetches: List[Tuple[int, int, int]] = []
+
+    def breakpoints(self) -> List[int]:
+        points = {0, self.nbytes}
+        for offset, length in self.setup_spans:
+            points.update((offset, offset + length))
+        for _, _, ranges, _ in self.events:
+            for start, end, _ in ranges:
+                points.update((start, end))
+        return sorted(points)
+
+
+def _scan(trace: ReplayTrace) -> Tuple[Dict[str, _BufferTouches], List[int]]:
+    """One pass over the op stream: per-buffer touch lists + the op
+    indices of every prefetch (discard insertion points)."""
+    sizes = {name: nbytes for name, nbytes, _ in trace.buffers}
+    spans = {name: spans for name, nbytes, spans in trace.buffers}
+    touches: Dict[str, _BufferTouches] = {
+        name: _BufferTouches(nbytes, spans[name])
+        for name, nbytes in sizes.items()
+    }
+    prefetch_indices: List[int] = []
+    for idx, op in enumerate(trace.ops):
+        kind = op["op"]
+        if kind == "malloc":
+            sizes[op["buffer"]] = op["nbytes"]
+            touches[op["buffer"]] = _BufferTouches(op["nbytes"], [])
+        elif kind == "free":
+            name = op["buffer"]
+            touch = touches[name]
+            touch.events.append((idx, "free", [(0, touch.nbytes, None)], None))
+        elif kind == "host_access":
+            touches[op["buffer"]].host_touched = True
+        elif kind == "prefetch":
+            name = op["buffer"]
+            start, end = _op_range(op, touches[name].nbytes)
+            touches[name].prefetches.append((idx, start, end))
+            prefetch_indices.append(idx)
+        elif kind == "discard":
+            name = op["buffer"]
+            start, end = _op_range(op, touches[name].nbytes)
+            touches[name].events.append(
+                (idx, "discard", [(start, end, None)], op.get("stream"))
+            )
+        elif kind == "kernel":
+            stream = op.get("stream")
+            per_buffer: Dict[str, List] = {}
+            for access in op.get("accesses", []):
+                name = access["buffer"]
+                start, end = _op_range(access, touches[name].nbytes)
+                per_buffer.setdefault(name, []).append(
+                    (start, end, access["mode"])
+                )
+            for name, ranges in per_buffer.items():
+                touches[name].events.append((idx, "kernel", ranges, stream))
+    return touches, prefetch_indices
+
+
+def _interval_events(
+    touch: _BufferTouches, start: int, end: int
+) -> List[Tuple[int, str, Optional[str]]]:
+    """This interval's event sequence: (op_idx, kind, stream) with kind
+    in kread/kwrite/krw/discard/free.  A kernel both reading and
+    writing the interval collapses to krw (live at that op)."""
+    events: List[Tuple[int, str, Optional[str]]] = []
+    for idx, kind, ranges, stream in touch.events:
+        reads = writes = False
+        for r_start, r_end, mode in ranges:
+            if r_start >= end or r_end <= start:
+                continue
+            if kind in ("discard", "free"):
+                events.append((idx, kind, stream))
+                break
+            if mode == "read":
+                reads = True
+            elif mode == "write":
+                writes = True
+            else:  # readwrite
+                reads = writes = True
+        else:
+            if reads and writes:
+                events.append((idx, "krw", stream))
+            elif reads:
+                events.append((idx, "kread", stream))
+            elif writes:
+                events.append((idx, "kwrite", stream))
+    return events
+
+
+def _copies(events: List[Tuple[int, str, Optional[str]]]) -> List[Dict]:
+    """Split an interval's event sequence into data copies."""
+    copies: List[Dict] = []
+    current: Dict[str, Any] = {
+        "birth": -1, "birth_kind": "initial", "birth_stream": None,
+        "reads": [], "end": None, "end_kind": None,
+    }
+    for idx, kind, stream in events:
+        if kind == "kread":
+            current["reads"].append((idx, stream))
+            continue
+        if kind == "krw":
+            current["reads"].append((idx, stream))
+        current["end"] = idx
+        current["end_kind"] = kind
+        copies.append(current)
+        current = {
+            "birth": idx, "birth_kind": kind, "birth_stream": stream,
+            "reads": [], "end": None, "end_kind": None,
+        }
+        if kind == "free":
+            return copies
+    copies.append(current)
+    return copies
+
+
+def _qualify(copy: Dict, cycled: bool) -> Optional[Tuple[int, Optional[str], str]]:
+    """Return (killer_idx, killer_stream, rule) when the copy's data is
+    provably dead after its killer, else None."""
+    end_kind = copy["end_kind"]
+    reads = copy["reads"]
+    if end_kind in ("kwrite", "free"):
+        if reads:
+            idx, stream = reads[-1]
+            return idx, stream, RULE_READ_KILL
+        if copy["birth_kind"] == "kwrite":
+            return copy["birth"], copy["birth_stream"], RULE_WRITE_ONLY
+        return None
+    if end_kind is None:
+        if len(reads) == 1:
+            idx, stream = reads[0]
+            return idx, stream, RULE_DEAD_READ_ONCE
+        if copy["birth_kind"] == "kwrite" and cycled:
+            if reads:
+                idx, stream = reads[-1]
+            else:
+                idx, stream = copy["birth"], copy["birth_stream"]
+            return idx, stream, RULE_DEAD_SCRATCH
+    return None
+
+
+def infer_discards(
+    trace: ReplayTrace, system: str = System.UVM_DISCARD.value
+) -> List[Dict[str, Any]]:
+    """Infer discard placements for ``trace`` under ``system``.
+
+    Returns one opportunity dict per inferred directive, sorted by
+    (killer op, buffer, offset)::
+
+        {"buffer": ..., "offset": ..., "length": ..., "mode": ...,
+         "stream": ..., "rule": ..., "killer": <op idx>,
+         "killer_name": <kernel name>, "insert_before": <op idx>}
+
+    ``insert_before`` is ``len(trace.ops)`` for end-of-trace discards.
+    """
+    lazy_capable = system == System.UVM_DISCARD_LAZY.value
+    touches, prefetch_indices = _scan(trace)
+    raw: List[Dict[str, Any]] = []
+    for name, touch in touches.items():
+        if touch.host_touched:
+            continue
+        points = touch.breakpoints()
+        for start, end in zip(points, points[1:]):
+            events = _interval_events(touch, start, end)
+            cycled = False
+            for copy in _copies(events):
+                found = _qualify(copy, cycled)
+                if found is None:
+                    continue
+                killer, stream, rule = found
+                rebirth = copy["end"]
+                if rebirth is not None and killer >= rebirth:
+                    continue
+                if copy["end_kind"] == "kwrite":
+                    cycled = True
+                horizon = rebirth if rebirth is not None else float("inf")
+                paired = any(
+                    killer < p_idx < horizon
+                    and p_start < end
+                    and start < p_end
+                    for p_idx, p_start, p_end in touch.prefetches
+                )
+                raw.append({
+                    "buffer": name,
+                    "offset": start,
+                    "length": end - start,
+                    "mode": "lazy" if lazy_capable and paired else "eager",
+                    "stream": stream,
+                    "rule": rule,
+                    "killer": killer,
+                })
+    return _merge(trace, raw, prefetch_indices)
+
+
+def _merge(
+    trace: ReplayTrace, raw: List[Dict], prefetch_indices: List[int]
+) -> List[Dict[str, Any]]:
+    """Coalesce adjacent same-killer intervals and attach the insertion
+    point (just before the next prefetch after the killer, but never
+    past a device-wide sync — the declared-access workloads enqueue
+    discards in the same drained region as their killer, e.g. the
+    end-of-batch activation discards precede the batch sync).
+
+    Pairing is a property of the discard *site*, not of each atomic
+    interval (the hand-written workloads issue one ranged call per
+    site), so a merged range is lazy when any constituent is — e.g. the
+    reduction tree discards a whole source span lazily even though only
+    its reborn prefix is covered by the pairing prefetch.
+    """
+    import bisect
+
+    sync_indices = [
+        idx
+        for idx, op in enumerate(trace.ops)
+        if op.get("op") == "sync" and not op.get("stream")
+    ]
+    raw.sort(key=lambda o: (o["killer"], o["buffer"], o["offset"]))
+    merged: List[Dict[str, Any]] = []
+    for opp in raw:
+        last = merged[-1] if merged else None
+        if (
+            last is not None
+            and last["killer"] == opp["killer"]
+            and last["buffer"] == opp["buffer"]
+            and last["stream"] == opp["stream"]
+            and last["offset"] + last["length"] == opp["offset"]
+        ):
+            last["length"] += opp["length"]
+            if opp["mode"] == "lazy":
+                last["mode"] = "lazy"
+            if opp["rule"] not in last["rule"].split("+"):
+                last["rule"] = f"{last['rule']}+{opp['rule']}"
+            continue
+        merged.append(dict(opp))
+    for opp in merged:
+        killer_op = trace.ops[opp["killer"]]
+        opp["killer_name"] = killer_op.get("kernel")
+        slot = bisect.bisect_right(prefetch_indices, opp["killer"])
+        insert_before = (
+            prefetch_indices[slot]
+            if slot < len(prefetch_indices)
+            else len(trace.ops)
+        )
+        gate = bisect.bisect_right(sync_indices, opp["killer"])
+        if gate < len(sync_indices):
+            insert_before = min(insert_before, sync_indices[gate])
+        opp["insert_before"] = insert_before
+    return merged
+
+
+def _retarget_paired_prefetches(
+    ops: List[Dict[str, Any]], nbytes_of: Dict[str, int]
+) -> None:
+    """Order refill prefetches after their paired discards (§4.2).
+
+    A discard followed — with no device-wide sync in between — by an
+    *ungated* prefetch of the same buffer is the paired-refill pattern:
+    the prefetch must not overtake the discard, or it re-fetches dead
+    data (eager) / misses the mandatory dirty-bit notification (lazy).
+    The declared-access workloads get that ordering by enqueuing every
+    such buffer's ungated prefetches on the discard's stream (see the
+    DL trainer's gradients prefetch), so the inferred trace does the
+    same.  Gated prefetches — ones some stream later ``wait``\\ s on —
+    keep their recorded stream: their consumers already order against
+    them, and the hand workloads leave them on the transfer stream
+    (e.g. the BFS frontier and reduction span refills).  Refills
+    already ordered by a device sync (e.g. next-batch activation
+    prefetches) keep their recorded stream too, as do prefetches whose
+    byte range never overlaps a discarded range (e.g. the KNN query
+    windows — disjoint ranges cannot race).
+    """
+    sync_prefix: List[int] = []
+    syncs = 0
+    for op in ops:
+        sync_prefix.append(syncs)
+        if op.get("op") == "sync" and not op.get("stream"):
+            syncs += 1
+    gated = {
+        op.get("on") for op in ops if op.get("op") == "wait"
+    }
+    discards: Dict[str, List[int]] = {}
+    prefetches: Dict[str, List[int]] = {}
+    for idx, op in enumerate(ops):
+        kind = op.get("op")
+        if kind == "discard":
+            discards.setdefault(op["buffer"], []).append(idx)
+        elif kind == "prefetch" and op.get("id") not in gated:
+            prefetches.setdefault(op["buffer"], []).append(idx)
+    for buffer, dpos in discards.items():
+        ppos = prefetches.get(buffer, [])
+        nbytes = nbytes_of.get(buffer, 0)
+
+        def overlaps(d: int, p: int) -> bool:
+            d_start, d_end = _op_range(ops[d], nbytes)
+            p_start, p_end = _op_range(ops[p], nbytes)
+            return d_start < p_end and p_start < d_end
+
+        racy = any(
+            p > d and sync_prefix[p] == sync_prefix[d] and overlaps(d, p)
+            for d in dpos
+            for p in ppos
+        )
+        if not racy:
+            continue
+        stream = ops[dpos[0]].get("stream")
+        for p in ppos:
+            if ops[p].get("stream") != stream:
+                ops[p]["stream"] = stream
+
+
+def apply_discards(
+    trace: ReplayTrace,
+    opportunities: List[Dict[str, Any]],
+    system: Optional[str] = None,
+) -> ReplayTrace:
+    """Build a new validated trace with the inferred discards inserted.
+
+    Inserted ops get fresh ids above every existing async id, carry no
+    timestamp (replay re-derives timing), and land on their killer's
+    stream.  ``meta.expected`` is dropped — the modified trace's totals
+    are the question, not a recorded answer — and ``meta.system`` is
+    replaced when ``system`` is given.
+    """
+    next_id = 0
+    for idx, op in enumerate(trace.ops):
+        if op["op"] in ("prefetch", "discard", "kernel", "kernel_raw", "memcpy"):
+            next_id = max(next_id, op.get("id", idx) + 1)
+    inserts: Dict[int, List[Dict[str, Any]]] = {}
+    for opp in sorted(
+        opportunities,
+        key=lambda o: (o["insert_before"], o["killer"], o["buffer"], o["offset"]),
+    ):
+        op = {
+            "op": "discard",
+            "id": next_id,
+            "buffer": opp["buffer"],
+            "mode": opp["mode"],
+            "offset": opp["offset"],
+            "length": opp["length"],
+            "stream": opp["stream"],
+        }
+        next_id += 1
+        inserts.setdefault(opp["insert_before"], []).append(op)
+    ops: List[Dict[str, Any]] = []
+    for idx, op in enumerate(trace.ops):
+        ops.extend(inserts.pop(idx, ()))
+        ops.append(dict(op))
+    for idx in sorted(inserts):
+        ops.extend(inserts[idx])
+    _retarget_paired_prefetches(
+        ops, {name: nbytes for name, nbytes, _ in trace.buffers}
+    )
+    meta = {key: value for key, value in trace.meta.items() if key != "expected"}
+    if system is not None:
+        meta["system"] = system
+    return ReplayTrace({
+        "version": SCHEMA_VERSION,
+        "meta": meta,
+        "buffers": [
+            {"name": name, "nbytes": nbytes, "spans": spans}
+            for name, nbytes, spans in trace.buffers
+        ],
+        "ops": ops,
+    })

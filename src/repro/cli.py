@@ -558,6 +558,100 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """Byte attribution, waste analysis and discard-opportunity reports;
+    see the "Attribution & waste analysis" section of
+    docs/OBSERVABILITY.md."""
+    from repro.analysis.explain import (
+        check_discard_inference,
+        diff_reports,
+        explain_point,
+        render_check,
+        render_diff,
+        render_report,
+    )
+
+    if args.diff:
+        path_a, path_b = args.diff
+        try:
+            report_a = json.loads(pathlib.Path(path_a).read_text())
+            report_b = json.loads(pathlib.Path(path_b).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot load diff inputs: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_reports(report_a, report_b)
+        print(json.dumps(diff, indent=2) if args.json else render_diff(diff))
+        return 0
+    if not args.experiment:
+        print(
+            "explain needs an experiment name (or --diff A B)",
+            file=sys.stderr,
+        )
+        return 2
+    name = TRACE_ALIASES.get(args.experiment, args.experiment)
+    if name not in EXPERIMENTS:
+        known = ", ".join([*EXPERIMENTS, *TRACE_ALIASES])
+        print(
+            f"unknown experiment {args.experiment!r}; have {known}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def point_for(system_name: str) -> SweepPoint:
+        if name.startswith("dl:"):
+            network = name.split(":", 1)[1]
+            batch = args.batch or DL_BATCH_GRID[network][-1]
+            return SweepPoint(
+                workload=name, system=system_name, link=args.link,
+                batch_size=batch, scale=args.scale,
+            )
+        return SweepPoint(
+            workload=name, system=system_name, link=args.link,
+            ratio=args.ratio, scale=args.scale,
+        )
+
+    try:
+        system = System(args.system)
+        if system is System.NO_UVM:
+            raise ConfigurationError("No-UVM has no driver to explain")
+        if args.check:
+            # Verify inferred discards against the hand-placed ones:
+            # trace the discard-free baseline, infer, replay, and demand
+            # byte-equal savings with the hand-discard run.
+            check_system = (
+                System.UVM_DISCARD if system is System.UVM_OPT else system
+            )
+            check = check_discard_inference(
+                point_for(System.UVM_OPT.value),
+                point_for(check_system.value),
+                check_system.value,
+                via_fork=args.fork,
+            )
+            if args.json:
+                print(json.dumps(check, indent=2))
+            else:
+                print(render_check(check, name))
+            return 0 if check["ok"] else 1
+        report = explain_point(point_for(system.value), via_fork=args.fork)
+        if args.out:
+            pathlib.Path(args.out).write_text(
+                json.dumps(report, indent=2) + "\n"
+            )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_report(report))
+        if args.out and not args.json:
+            print(f"\nwrote report to {args.out}")
+        return 0
+    except (ConfigurationError, ValueError) as exc:
+        print(f"bad explain spec: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"explain failed: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_replay(args) -> int:
     """Replay an access trace as a workload; see docs/WORKLOADS.md."""
     from repro.workloads.replay import (
@@ -992,6 +1086,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing trace file instead of running",
     )
     trace.set_defaults(func=cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="post-run byte attribution: waste decomposition, missed "
+        "discard opportunities, and run-to-run diffs",
+    )
+    explain.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment name (see 'list'; fig5-<net> aliases dl:<net>)",
+    )
+    explain.add_argument(
+        "--system",
+        default=System.UVM_OPT.value,
+        help="system to explain (default UVM-opt, the discard-free "
+        "baseline with the most to say)",
+    )
+    explain.add_argument(
+        "--ratio",
+        type=float,
+        default=2.0,
+        help="oversubscription ratio for micro workloads (default 2.0)",
+    )
+    explain.add_argument(
+        "--batch",
+        type=int,
+        help="DL batch size (default: the network grid's largest batch)",
+    )
+    explain.add_argument("--scale", type=float, default=0.125)
+    explain.add_argument(
+        "--link", default="gen4", choices=("gen3", "gen4")
+    )
+    explain.add_argument(
+        "--check",
+        action="store_true",
+        help="verify inferred discards against the hand-placed ones "
+        "(byte-exact savings); exits non-zero on mismatch",
+    )
+    explain.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        help="diff two saved explain reports (JSON files from --out)",
+    )
+    explain.add_argument(
+        "--out", metavar="PATH", help="also save the JSON report to PATH"
+    )
+    explain.add_argument(
+        "--fork",
+        action="store_true",
+        help="run the measured body on a snapshot fork of the setup prefix",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    explain.set_defaults(func=cmd_explain)
 
     replay = sub.add_parser(
         "replay",

@@ -1043,16 +1043,17 @@ class UvmDriver:
                             yield timeout(
                                 link.transfer_time(span_bytes, chunk=chunk)
                             )
-                            traffic.record(
+                            rec = traffic.record(
                                 env.now,
                                 d2h,
                                 span_bytes,
                                 evict_reason,
                                 first_block=index,
                                 num_blocks=1,
+                                blocks=(victim,),
                             )
                             rmt.on_transfer(
-                                index, span_bytes, d2h, evict_reason
+                                index, span_bytes, d2h, evict_reason, rec, victim
                             )
                         finally:
                             d2h_engine.release(request)

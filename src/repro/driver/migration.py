@@ -223,15 +223,18 @@ class MigrationEngine:
                         yield env.timeout(
                             link.transfer_time(span_bytes, chunk=chunk)
                         )
-                    record(
+                    rec = record(
                         env.now,
                         direction,
                         span_bytes,
                         reason,
                         first_block=block.index,
                         num_blocks=1,
+                        blocks=blocks,
                     )
-                    on_transfer(block.index, span_bytes, direction, reason)
+                    on_transfer(
+                        block.index, span_bytes, direction, reason, rec, block
+                    )
                     return
                 for span in coalesce_spans(blocks):
                     span_bytes = sum(b.used_bytes for b in span)
@@ -254,16 +257,24 @@ class MigrationEngine:
                             span[0].index,
                             len(span),
                         )
-                    record(
+                    rec = record(
                         env.now,
                         direction,
                         span_bytes,
                         reason,
                         first_block=span[0].index,
                         num_blocks=len(span),
+                        blocks=span,
                     )
                     for block in span:
-                        on_transfer(block.index, block.used_bytes, direction, reason)
+                        on_transfer(
+                            block.index,
+                            block.used_bytes,
+                            direction,
+                            reason,
+                            rec,
+                            block,
+                        )
             finally:
                 engine.release(request)
             return
@@ -293,17 +304,18 @@ class MigrationEngine:
                         span[0].index,
                         len(span),
                     )
-                self.traffic.record(
+                rec = self.traffic.record(
                     self.env.now,
                     direction,
                     span_bytes,
                     reason,
                     first_block=span[0].index,
                     num_blocks=len(span),
+                    blocks=span,
                 )
                 for block in span:
                     self.rmt.on_transfer(
-                        block.index, block.used_bytes, direction, reason
+                        block.index, block.used_bytes, direction, reason, rec, block
                     )
         finally:
             engine.release(request)
@@ -348,13 +360,14 @@ class MigrationEngine:
                             span[0].index,
                             len(span),
                         )
-                    self.traffic.record(
+                    rec = self.traffic.record(
                         env.now,
                         TransferDirection.DEVICE_TO_DEVICE,
                         span_bytes,
                         TransferReason.FAULT_MIGRATION,
                         first_block=span[0].index,
                         num_blocks=len(span),
+                        blocks=span,
                     )
                     for block in span:
                         self.rmt.on_transfer(
@@ -362,6 +375,8 @@ class MigrationEngine:
                             block.used_bytes,
                             TransferDirection.DEVICE_TO_DEVICE,
                             TransferReason.FAULT_MIGRATION,
+                            rec,
+                            block,
                         )
             finally:
                 source_engines.d2h.release(out_request)
@@ -389,13 +404,14 @@ class MigrationEngine:
                         span[0].index,
                         len(span),
                     )
-                self.traffic.record(
+                rec = self.traffic.record(
                     self.env.now,
                     TransferDirection.DEVICE_TO_DEVICE,
                     span_bytes,
                     TransferReason.FAULT_MIGRATION,
                     first_block=span[0].index,
                     num_blocks=len(span),
+                    blocks=span,
                 )
                 for block in span:
                     self.rmt.on_transfer(
@@ -403,6 +419,8 @@ class MigrationEngine:
                         block.used_bytes,
                         TransferDirection.DEVICE_TO_DEVICE,
                         TransferReason.FAULT_MIGRATION,
+                        rec,
+                        block,
                     )
         finally:
             source_engines.d2h.release(out_request)

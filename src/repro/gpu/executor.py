@@ -85,6 +85,10 @@ class GpuExecutor:
         restarts = 0
         try:
             self.kernels_launched += 1
+            # Phase tag for byte attribution: every transfer recorded from
+            # here until the next kernel starts executing served this
+            # kernel.  A plain attribute store — free on the hot path.
+            self.driver.traffic.phase = kernel.name
             waves = self._build_waves(kernel)
             compute_total = kernel.compute_seconds(self.gpu.effective_flops)
             compute_per_wave = compute_total / len(waves)
@@ -177,4 +181,5 @@ class GpuExecutor:
             TransferDirection.HOST_TO_DEVICE,
             nbytes,
             TransferReason.REMOTE_ACCESS,
+            blocks=blocks,
         )

@@ -33,6 +33,11 @@ class ExperimentResult:
     #: EventLog entries evicted by the ring buffer during the run; > 0
     #: means the retained log is a suffix, not a complete record.
     log_dropped: int = 0
+    #: Byte-attribution summary (waste decomposition + per-buffer
+    #: totals) — populated only when the driver retained transfer
+    #: records (``keep_transfer_records=True``); ``None`` on the
+    #: benchmark hot path.  See :mod:`repro.analysis`.
+    attribution: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_runtime(
@@ -45,6 +50,11 @@ class ExperimentResult:
         """Snapshot a finished runtime into a result row."""
         traffic = runtime.driver.traffic
         rmt = runtime.driver.rmt
+        attribution = None
+        if traffic.records:
+            from repro.analysis.attribution import attribution_summary
+
+            attribution = attribution_summary(runtime)
         return cls(
             system=system,
             config=config,
@@ -57,11 +67,20 @@ class ExperimentResult:
             counters=runtime.driver.counters.as_dict(),
             metric=metric,
             log_dropped=runtime.driver.log.dropped,
+            attribution=attribution,
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON form, for the sweep cache and report files."""
-        return asdict(self)
+        """Plain-JSON form, for the sweep cache and report files.
+
+        ``attribution`` is omitted when ``None`` (the hot path) so
+        pre-attribution caches and golden snapshots stay valid
+        byte-for-byte — the same convention as an empty chaos tuple on
+        :class:`SweepPoint`."""
+        data = asdict(self)
+        if data["attribution"] is None:
+            del data["attribution"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
@@ -71,7 +90,7 @@ class ExperimentResult:
         unknown = set(data) - names
         if unknown:
             raise ValueError(f"unknown result fields: {sorted(unknown)}")
-        optional = ("counters", "metric", "log_dropped")
+        optional = ("counters", "metric", "log_dropped", "attribution")
         missing = {
             f.name
             for f in fields(cls)

@@ -101,18 +101,21 @@ def _record_totals(tracer: Tracer, runtime) -> None:
     )
 
 
-def trace_point(
+def traced_run(
     point,
     trace_config: Optional[TraceConfig] = None,
     via_fork: bool = False,
-) -> Tuple[Optional[ExperimentResult], Tracer]:
-    """Simulate ``point`` with tracing enabled.
+) -> Tuple[Optional[ExperimentResult], Tracer, Optional[object]]:
+    """Simulate ``point`` with tracing enabled, keeping the runtime.
 
-    Returns ``(result, tracer)``; ``result`` is ``None`` on the paper's
-    No-UVM-style OOM.  ``via_fork=True`` routes the measured body
-    through an :class:`~repro.engine.snapshot.EngineSnapshot` fork of
-    the setup prefix instead of continuing the cold runtime — the trace
-    must be identical either way.
+    Returns ``(result, tracer, runtime)``; ``result`` is ``None`` on the
+    paper's No-UVM-style OOM (``runtime`` is ``None`` if the *prefix*
+    OOMed).  The runtime gives post-run analysis access to retained
+    transfer records and the RMT classifier (``repro.analysis``).
+    ``via_fork=True`` routes the measured body through an
+    :class:`~repro.engine.snapshot.EngineSnapshot` fork of the setup
+    prefix instead of continuing the cold runtime — the trace must be
+    identical either way.
 
     Raises :class:`~repro.errors.ConfigurationError` for points without
     a split-phase plan (No-UVM has no driver to trace).
@@ -138,7 +141,7 @@ def trace_point(
             plan.setup, _gpu_spec(point), _link(point), driver_config=driver_config
         )
     except OutOfMemoryError:
-        return None, tracer
+        return None, tracer, None
     if via_fork:
         from repro.driver.config import UvmDriverConfig
         from repro.engine.snapshot import EngineSnapshot
@@ -163,9 +166,19 @@ def trace_point(
         )
         _record_totals(tracer, runtime)
     except OutOfMemoryError:
-        return None, tracer
+        return None, tracer, runtime
     finally:
         if injector is not None:
             injector.uninstall()
         tracer.uninstall()
+    return result, tracer, runtime
+
+
+def trace_point(
+    point,
+    trace_config: Optional[TraceConfig] = None,
+    via_fork: bool = False,
+) -> Tuple[Optional[ExperimentResult], Tracer]:
+    """Simulate ``point`` with tracing enabled (see :func:`traced_run`)."""
+    result, tracer, _ = traced_run(point, trace_config, via_fork)
     return result, tracer

@@ -187,6 +187,92 @@ def collect_conservation_problems(driver: UvmDriver) -> List[str]:
                 f"retained records sum to {record_bytes} bytes but the "
                 f"running total is {traffic.total_bytes}"
             )
+        problems.extend(_attribution_problems(traffic, rmt))
+    return problems
+
+
+def _attribution_problems(traffic, rmt) -> List[str]:
+    """Byte-attribution conservation over a complete record set.
+
+    Only meaningful when the recorder retained a record for every
+    transfer (the caller checks); then the attributed views — per-buffer
+    segments, per-direction/per-reason groupings, and per-record RMT
+    fates — must each re-sum to the recorder's running totals.
+    """
+    problems: List[str] = []
+    by_direction: dict = {}
+    by_reason: dict = {}
+    block_record_bytes = 0
+    for record in traffic.records:
+        direction = record.direction.value
+        by_direction[direction] = by_direction.get(direction, 0) + record.nbytes
+        reason = record.reason.value
+        by_reason[reason] = by_reason.get(reason, 0) + record.nbytes
+        if record.num_blocks > 0:
+            block_record_bytes += record.nbytes
+            if not record.segments:
+                problems.append(
+                    f"block-attributed record at t={record.time} has no "
+                    "buffer segments"
+                )
+        if record.segments:
+            segment_bytes = sum(nbytes for _, nbytes in record.segments)
+            if segment_bytes != record.nbytes:
+                problems.append(
+                    f"record at t={record.time} moves {record.nbytes} bytes "
+                    f"but its buffer segments sum to {segment_bytes}"
+                )
+    expected_direction = {
+        "h2d": traffic.bytes_h2d,
+        "d2h": traffic.bytes_d2h,
+        "d2d": traffic.bytes_d2d,
+    }
+    for direction, expected in expected_direction.items():
+        attributed = by_direction.get(direction, 0)
+        if attributed != expected:
+            problems.append(
+                f"attributed {direction} bytes ({attributed}) disagree with "
+                f"the recorder's running total ({expected})"
+            )
+    for reason in TransferReason:
+        attributed = by_reason.get(reason.value, 0)
+        expected = traffic.bytes_for(reason)
+        if attributed != expected:
+            problems.append(
+                f"attributed {reason.value!r} bytes ({attributed}) disagree "
+                f"with the recorder's running total ({expected})"
+            )
+    if block_record_bytes != traffic.block_bytes:
+        problems.append(
+            f"block-attributed record bytes ({block_record_bytes}) disagree "
+            f"with the recorder's block-byte total ({traffic.block_bytes})"
+        )
+    fate_bytes = rmt.classified_record_bytes + rmt.pending_record_bytes
+    if fate_bytes != traffic.block_bytes:
+        problems.append(
+            f"per-record RMT fates account for {fate_bytes} bytes but the "
+            f"recorder saw {traffic.block_bytes} block-attributed bytes"
+        )
+    useful = sum(t.get("useful", 0) for t in rmt.record_fates.values())
+    if useful != rmt.useful_bytes:
+        problems.append(
+            f"per-record useful bytes ({useful}) disagree with the "
+            f"classifier's aggregate ({rmt.useful_bytes})"
+        )
+    redundant = rmt.classified_record_bytes - useful
+    if redundant != rmt.redundant_bytes:
+        problems.append(
+            f"per-record redundant bytes ({redundant}) disagree with the "
+            f"classifier's aggregate ({rmt.redundant_bytes})"
+        )
+    buffer_bytes = sum(
+        sum(tally.values()) for tally in rmt.buffer_fates.values()
+    )
+    if buffer_bytes != rmt.classified_record_bytes:
+        problems.append(
+            f"per-buffer fate bytes ({buffer_bytes}) disagree with the "
+            f"per-record fate bytes ({rmt.classified_record_bytes})"
+        )
     return problems
 
 

@@ -23,9 +23,19 @@ moves.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
-from repro.instrument.traffic import TransferDirection, TransferReason
+from repro.instrument.traffic import (
+    TransferDirection,
+    TransferReason,
+    TransferRecord,
+)
+
+#: Per-record waste causes (see :attr:`RmtClassifier.record_fates`).
+FATE_USEFUL = "useful"
+FATE_OVERWRITTEN = "overwritten"
+FATE_DISCARDED = "discarded"
+FATE_UNUSED = "unused"
 
 
 class TransferFate(enum.Enum):
@@ -46,13 +56,32 @@ class RmtClassifier:
     fault-service hot path.
     """
 
-    __slots__ = ("_pending", "useful_bytes", "redundant_bytes", "_finalized")
+    __slots__ = (
+        "_pending",
+        "useful_bytes",
+        "redundant_bytes",
+        "_finalized",
+        "_pending_records",
+        "record_fates",
+        "buffer_fates",
+    )
 
     def __init__(self) -> None:
         self._pending: Dict[int, List[int]] = {}
         self.useful_bytes = 0
         self.redundant_bytes = 0
         self._finalized = False
+        # Attribution mode (records retained): per-block chains of
+        # (record, nbytes, owner) hops, resolved into per-record and
+        # per-buffer fate tallies.  Record tallies are keyed by
+        # id(record) — the recorder keeps every record alive, so ids are
+        # stable for the run's lifetime.  Empty and untouched on the
+        # benchmark hot path.
+        self._pending_records: Dict[
+            int, List[Tuple[TransferRecord, int, str]]
+        ] = {}
+        self.record_fates: Dict[int, Dict[str, int]] = {}
+        self.buffer_fates: Dict[str, Dict[str, int]] = {}
 
     def on_transfer(
         self,
@@ -60,32 +89,71 @@ class RmtClassifier:
         nbytes: int,
         direction: TransferDirection,
         reason: TransferReason,
+        record: Optional[TransferRecord] = None,
+        block=None,
     ) -> None:
-        """Track one block's worth of a migration/eviction/prefetch."""
+        """Track one block's worth of a migration/eviction/prefetch.
+
+        ``record`` (the retained :class:`TransferRecord` this block hop
+        belongs to, when the recorder keeps records) enables per-record
+        fate attribution alongside the aggregate tallies; ``block`` (the
+        va_block itself) supplies the owning buffer for per-buffer waste
+        tables.  Both stay ``None`` on the benchmark hot path.
+        """
         pending = self._pending
         chain = pending.get(block_index)
         if chain is None:
             pending[block_index] = [nbytes]
         else:
             chain.append(nbytes)
+        if record is not None:
+            owner = "(unknown)"
+            if block is not None and block.buffer is not None:
+                owner = block.buffer.name
+            rchain = self._pending_records.get(block_index)
+            if rchain is None:
+                self._pending_records[block_index] = [(record, nbytes, owner)]
+            else:
+                rchain.append((record, nbytes, owner))
+
+    def _credit(self, block_index: int, fate: str) -> None:
+        rchain = self._pending_records.pop(block_index, None)
+        if not rchain:
+            return
+        fates = self.record_fates
+        buffers = self.buffer_fates
+        for record, nbytes, owner in rchain:
+            tally = fates.get(id(record))
+            if tally is None:
+                fates[id(record)] = {fate: nbytes}
+            else:
+                tally[fate] = tally.get(fate, 0) + nbytes
+            btally = buffers.get(owner)
+            if btally is None:
+                buffers[owner] = {fate: nbytes}
+            else:
+                btally[fate] = btally.get(fate, 0) + nbytes
 
     def on_read(self, block_index: int) -> None:
         """The program read the block's data: pending chain was necessary."""
         chain = self._pending.pop(block_index, None)
         if chain:
             self.useful_bytes += sum(chain)
+            self._credit(block_index, FATE_USEFUL)
 
     def on_overwrite(self, block_index: int) -> None:
         """The program fully overwrote the block before reading it."""
         chain = self._pending.pop(block_index, None)
         if chain:
             self.redundant_bytes += sum(chain)
+            self._credit(block_index, FATE_OVERWRITTEN)
 
     def on_discard(self, block_index: int) -> None:
         """The program discarded the block: its data was dead."""
         chain = self._pending.pop(block_index, None)
         if chain:
             self.redundant_bytes += sum(chain)
+            self._credit(block_index, FATE_DISCARDED)
 
     def _resolve(self, block_index: int, fate: TransferFate) -> None:
         chain = self._pending.pop(block_index, None)
@@ -94,8 +162,10 @@ class RmtClassifier:
         total = sum(chain)
         if fate is TransferFate.USEFUL:
             self.useful_bytes += total
+            self._credit(block_index, FATE_USEFUL)
         else:
             self.redundant_bytes += total
+            self._credit(block_index, FATE_UNUSED)
 
     def finalize(self) -> None:
         """Resolve everything still pending as redundant (never used)."""
@@ -105,10 +175,31 @@ class RmtClassifier:
             self._resolve(block_index, TransferFate.REDUNDANT)
         self._finalized = True
 
+    def fates_for(self, record: TransferRecord) -> Dict[str, int]:
+        """Resolved fate tally for one retained record (may be partial
+        until :meth:`finalize`); bytes not yet resolved are pending."""
+        return dict(self.record_fates.get(id(record), {}))
+
     @property
     def pending_bytes(self) -> int:
         """Bytes of tracked transfers not yet resolved useful/redundant."""
         return sum(sum(chain) for chain in self._pending.values())
+
+    @property
+    def pending_record_bytes(self) -> int:
+        """Bytes of record-attributed hops not yet resolved."""
+        return sum(
+            nbytes
+            for chain in self._pending_records.values()
+            for _, nbytes, _ in chain
+        )
+
+    @property
+    def classified_record_bytes(self) -> int:
+        """Bytes of record-attributed hops resolved into fates."""
+        return sum(
+            sum(tally.values()) for tally in self.record_fates.values()
+        )
 
     @property
     def classified_bytes(self) -> int:

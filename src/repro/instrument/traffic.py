@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.interconnect.link import TransferDirection
 from repro.units import to_gb
@@ -35,7 +35,16 @@ class TransferReason(enum.Enum):
 
 @dataclass(frozen=True)
 class TransferRecord:
-    """One DMA command's worth of traffic."""
+    """One DMA command's worth of traffic.
+
+    ``segments`` attributes the record's bytes to the owning managed
+    buffers at *record time* — ``((buffer_name, nbytes), ...)`` in block
+    order, with consecutive same-buffer blocks merged — so attribution
+    survives buffer frees and block splits that would confuse a post-hoc
+    index walk.  ``phase`` names the workload phase the transfer served:
+    ``"setup"`` before the first kernel, then the most recently launched
+    kernel's name.  Both are only populated when records are retained.
+    """
 
     time: float
     direction: TransferDirection
@@ -43,14 +52,36 @@ class TransferRecord:
     reason: TransferReason
     first_block: Optional[int] = None
     num_blocks: int = 0
+    segments: Tuple[Tuple[str, int], ...] = ()
+    phase: str = "setup"
+
+
+def _segments_for(blocks) -> Tuple[Tuple[str, int], ...]:
+    """Per-buffer byte segments for a span of blocks, in block order."""
+    segments: List[List] = []
+    last_name: Optional[str] = None
+    for block in blocks:
+        owner = block.buffer
+        name = owner.name if owner is not None else "(unknown)"
+        if name == last_name:
+            segments[-1][1] += block.used_bytes
+        else:
+            segments.append([name, block.used_bytes])
+            last_name = name
+    return tuple((name, nbytes) for name, nbytes in segments)
 
 
 class TrafficRecorder:
     """Accumulates transfer records and per-direction/per-reason totals."""
 
+    #: Class-level default so instances unpickled from snapshots taken
+    #: before the attribution layer still read as phase "setup".
+    phase: str = "setup"
+
     def __init__(self, keep_records: bool = False) -> None:
         self._keep_records = keep_records
         self.records: List[TransferRecord] = []
+        self.phase = "setup"
         # Keyed by the enum *values* (plain strings): enum members hash
         # through a Python-level ``__hash__``, which showed up as one of
         # the hottest frames in the fault-service profile.  Strings hash
@@ -72,12 +103,16 @@ class TrafficRecorder:
         reason: TransferReason,
         first_block: Optional[int] = None,
         num_blocks: int = 0,
+        blocks: Optional[Sequence] = None,
     ) -> Optional[TransferRecord]:
         """Account one transfer; returns the record only when retained.
 
         With ``keep_records=False`` (every benchmark run) no
         :class:`TransferRecord` is constructed at all — the dataclass
         ``__init__`` was pure overhead on the fault-service hot path.
+        ``blocks`` (the va_blocks the transfer moved, in span order) is
+        likewise only inspected when records are retained, where it is
+        folded into per-buffer attribution segments.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -87,8 +122,10 @@ class TrafficRecorder:
         if num_blocks > 0:
             self.block_bytes += nbytes
         if self._keep_records:
+            segments = _segments_for(blocks) if blocks is not None else ()
             rec = TransferRecord(
-                time, direction, nbytes, reason, first_block, num_blocks
+                time, direction, nbytes, reason, first_block, num_blocks,
+                segments, self.phase,
             )
             self.records.append(rec)
             return rec
@@ -123,6 +160,9 @@ class TrafficRecorder:
         return {r: to_gb(n) for r, n in self._by_reason.items() if n}
 
     def reset(self) -> None:
+        # Deliberately leaves ``phase`` alone: begin_measurement() resets
+        # counters mid-run, and the phase tracks executor state, not the
+        # measurement window.
         self.records.clear()
         for d in self._by_direction:
             self._by_direction[d] = 0

@@ -27,9 +27,11 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import re
 import signal
 import tempfile
 import time
+import urllib.parse
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -312,10 +314,16 @@ class ExperimentServer:
             405: "Method Not Allowed", 429: "Too Many Requests",
             500: "Internal Server Error",
         }.get(status, "OK")
-        body = json.dumps(payload, sort_keys=True).encode()
+        if isinstance(payload, str):
+            # Text exposition (Prometheus scrape); JSON stays the default.
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -330,6 +338,7 @@ class ExperimentServer:
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         self.metrics.counter("serve/requests").inc()
+        path, _, query = path.partition("?")
         if path == "/healthz":
             self._require(method, "GET")
             return 200, {
@@ -340,6 +349,9 @@ class ExperimentServer:
             }, {}
         if path == "/metrics":
             self._require(method, "GET")
+            params = urllib.parse.parse_qs(query)
+            if params.get("format", ["json"])[-1] == "prometheus":
+                return 200, self.prometheus_payload(), {}
             return 200, self.metrics_payload(), {}
         if path == "/run":
             self._require(method, "POST")
@@ -565,6 +577,73 @@ class ExperimentServer:
             },
             "cache": {"enabled": self.cache is not None},
         }
+
+    def prometheus_payload(self) -> str:
+        """``/metrics?format=prometheus`` — text exposition format 0.0.4.
+
+        Counters become ``repro_<name>_total`` counters, gauges and the
+        derived operational numbers (queue depth, pool hit rate, active
+        requests, job counts) become gauges, histograms become
+        summaries with the same quantiles as the JSON document.  Metric
+        names are sanitized (``serve/request_seconds`` →
+        ``repro_serve_request_seconds``); output order is sorted, so
+        scrapes are byte-stable for identical state.
+        """
+        registry = self.metrics
+        lines: List[str] = []
+
+        def emit(name: str, kind: str, samples: List[Tuple[str, float]]) -> None:
+            lines.append(f"# TYPE {name} {kind}")
+            for suffix, value in samples:
+                if isinstance(value, float) and not value.is_integer():
+                    lines.append(f"{name}{suffix} {value}")
+                else:
+                    lines.append(f"{name}{suffix} {int(value)}")
+
+        for raw in sorted(registry.counters):
+            emit(
+                f"{_prom_name(raw)}_total",
+                "counter",
+                [("", registry.counters[raw].value)],
+            )
+        for raw in sorted(registry.gauges):
+            emit(_prom_name(raw), "gauge", [("", registry.gauges[raw].last)])
+        for raw in sorted(registry.histograms):
+            histogram = registry.histograms[raw]
+            name = _prom_name(raw)
+            samples = [
+                (f'{{quantile="{q}"}}', histogram.quantile(q))
+                for q in LATENCY_QUANTILES
+            ]
+            samples.append(("_sum", histogram.total))
+            samples.append(("_count", histogram.count))
+            emit(name, "summary", samples)
+        scheduler = self.scheduler
+        forks = registry.counters.get("serve/pool_fork")
+        blobs = registry.counters.get("serve/pool_blob")
+        colds = registry.counters.get("serve/pool_cold")
+        warm = (forks.value if forks else 0) + (blobs.value if blobs else 0)
+        cold = colds.value if colds else 0
+        derived = [
+            ("repro_serve_pool_hit_rate", warm / (warm + cold) if warm + cold else 0.0),
+            ("repro_serve_queue_outstanding", scheduler.outstanding if scheduler else 0),
+            ("repro_serve_queue_limit", self.config.queue_limit),
+            ("repro_serve_http_active", self._active_requests),
+            ("repro_serve_http_peak", self._peak_requests),
+            ("repro_serve_jobs_total", len(self.jobs)),
+            (
+                "repro_serve_jobs_running",
+                sum(1 for job in self.jobs.values() if job.state == "running"),
+            ),
+        ]
+        for name, value in derived:
+            emit(name, "gauge", [("", value)])
+        return "\n".join(lines) + "\n"
+
+
+def _prom_name(raw: str) -> str:
+    """Sanitize a registry metric name into a Prometheus one."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
 
 
 class _HttpError(Exception):

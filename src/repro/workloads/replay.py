@@ -939,32 +939,12 @@ class ReplayWorkload:
 # ----------------------------------------------------------------------
 
 
-def per_buffer_transfer_totals(runtime) -> Dict[str, Dict[str, int]]:
-    """Per-buffer H2D/D2H byte totals from retained transfer records.
-
-    Requires the runtime to have been built with
-    ``UvmDriverConfig(keep_transfer_records=True)``.  Block-attributed
-    records map to their owning buffer through the block index; raw
-    (unattributed) transfers land in the ``"(raw)"`` bucket.
-    """
-    owner: Dict[int, str] = {}
-    for buffer in runtime.managed_buffers():
-        for block in buffer.blocks:
-            owner[block.index] = buffer.name
-    totals: Dict[str, Dict[str, int]] = {}
-    for record in runtime.driver.traffic.records:
-        if record.num_blocks > 0 and record.first_block is not None:
-            name = owner.get(record.first_block, "(unknown)")
-        else:
-            name = "(raw)"
-        bucket = totals.setdefault(name, {"h2d": 0, "d2h": 0, "d2d": 0})
-        if record.direction is TransferDirection.HOST_TO_DEVICE:
-            bucket["h2d"] += record.nbytes
-        elif record.direction is TransferDirection.DEVICE_TO_HOST:
-            bucket["d2h"] += record.nbytes
-        else:
-            bucket["d2d"] += record.nbytes
-    return totals
+# The per-buffer decomposition moved to repro.analysis (the single
+# source of truth for byte attribution); re-exported here because the
+# replay CLI and its callers grew up importing it from this module.
+from repro.analysis.attribution import (  # noqa: E402  (re-export)
+    per_buffer_transfer_totals,
+)
 
 
 def run_replay(trace: ReplayTrace, keep_transfer_records: bool = False):

@@ -326,6 +326,59 @@ class TestChaosWorkloadListing:
         assert args.workloads == "bfs,kmeans,knn,stencil,reduction"
 
 
+class TestExplain:
+    def test_defaults(self):
+        args = build_parser().parse_args(["explain", "reduction"])
+        assert args.experiment == "reduction"
+        assert args.system == "UVM-opt"
+        assert args.diff is None
+        assert not args.check and not args.json and not args.fork
+
+    def test_needs_experiment_or_diff(self, capsys):
+        assert main(["explain"]) == 2
+        assert "needs an experiment" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["explain", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_and_diff(self, tmp_path, capsys):
+        run_a = tmp_path / "a.json"
+        run_b = tmp_path / "b.json"
+        common = ["--scale", "0.03125", "--link", "gen3"]
+        assert main(
+            ["explain", "reduction", *common, "--out", str(run_a)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-buffer attribution" in out
+        assert "missed discard opportunit" in out
+        assert main(
+            ["explain", "reduction", *common, "--system", "UvmDiscardLazy",
+             "--json", "--out", str(run_b)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attribution"]["complete"] is True
+        assert json.loads(run_b.read_text()) == payload
+
+        assert main(["explain", "--diff", str(run_a), str(run_b)]) == 0
+        out = capsys.readouterr().out
+        assert "diff: reduction/UVM-opt -> reduction/UvmDiscardLazy" in out
+
+    def test_check_passes_on_reduction(self, capsys):
+        assert main(
+            ["explain", "reduction", "--scale", "0.03125", "--link", "gen3",
+             "--system", "UvmDiscard", "--check"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_diff_with_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["explain", "--diff", str(tmp_path / "a.json"),
+             str(tmp_path / "b.json")]
+        ) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
 class TestReplay:
     @pytest.fixture(scope="class")
     def export(self, tmp_path_factory):

@@ -428,6 +428,44 @@ class TestServerEndToEnd:
             metrics = ServeClient(running.url).metrics()
             assert metrics["counters"]["serve/rejected_busy"] >= 1
 
+    def test_prometheus_exposition_and_run_attribution(self):
+        import urllib.request
+
+        with RunningServer() as running:
+            client = ServeClient(running.url, client_id="prom")
+            # A run that retains transfer records carries the byte-
+            # attribution summary in its /run outcome.
+            explained = client.run_point(
+                fir_point(driver=(("keep_transfer_records", True),))
+            )
+            attribution = explained["outcome"]["result"]["attribution"]
+            assert attribution["complete"] is True
+            assert attribution["waste"]["useful_bytes"] > 0
+            # The hot path stays lean: no records, no attribution key
+            # (omitted so pre-attribution caches stay byte-identical).
+            bare = client.run_point(fir_point())
+            assert "attribution" not in bare["outcome"]["result"]
+
+            response = urllib.request.urlopen(
+                running.url + "/metrics?format=prometheus"
+            )
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+            assert "# TYPE repro_serve_requests_total counter" in text
+            assert "# TYPE repro_serve_request_seconds summary" in text
+            assert 'repro_serve_request_seconds{quantile="0.5"}' in text
+            assert "repro_serve_queue_limit 256" in text
+            # Scrapes are parseable: every sample line is "name value".
+            for line in text.strip().split("\n"):
+                if line.startswith("#"):
+                    continue
+                name, value = line.rsplit(" ", 1)
+                float(value)
+                assert name
+            # The JSON document stays the default.
+            metrics = client.metrics()
+            assert "counters" in metrics and "histograms" in metrics
+
     def test_rate_limited_client_gets_429_and_retry_succeeds(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         point = fir_point()

@@ -62,6 +62,34 @@ class TestForkDeterminism:
         assert cold[0] == forked[0]
 
 
+class TestMetricsCsvFormat:
+    """Pin the ``--metrics-csv`` export shape: dashboards parse it."""
+
+    def test_header_row_and_column_order(self, cold):
+        lines = cold[1].metrics.to_csv().splitlines()
+        assert lines[0] == "series,time,value"
+        assert len(lines) > 1, "traced run must record samples"
+        for line in lines[1:]:
+            series, time, value = line.split(",")
+            assert series
+            float(time), float(value)
+
+    def test_series_grouped_and_name_sorted(self, cold):
+        lines = cold[1].metrics.to_csv().splitlines()[1:]
+        names = [line.split(",", 1)[0] for line in lines]
+        # All samples of one series are contiguous and the groups appear
+        # in sorted order — a re-run must produce a byte-identical file.
+        groups = []
+        for name in names:
+            if not groups or groups[-1] != name:
+                groups.append(name)
+        assert groups == sorted(set(names))
+
+    def test_export_is_stable_across_identical_runs(self, cold):
+        repeat = trace_point(POINT)
+        assert repeat[1].metrics.to_csv() == cold[1].metrics.to_csv()
+
+
 class TestNonPerturbation:
     def test_traced_result_matches_untraced(self, cold):
         untraced = execute_point(POINT)
